@@ -1,0 +1,66 @@
+// Ablation: reconfiguration overlap. The paper hides up to 3 cycles of
+// configuration/operand loading behind the pipeline front-end; this sweep
+// quantifies the cost of losing that overlap and of narrower configuration
+// buses / register-file ports.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "rra/array_shape.hpp"
+
+using namespace dim;
+using namespace dim::bench;
+
+int main() {
+  const auto workloads = prepare_all();
+
+  std::printf("Ablation - reconfiguration overlap cycles (C#2, 64 slots, speculation)\n");
+  std::printf("%-12s %10s\n", "overlap", "avg speedup");
+  for (int overlap : {0, 1, 3, 6}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.reconfig_overlap_cycles = overlap;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f%s\n", overlap, mean(speedups),
+                overlap == 3 ? "   <- paper setting (PC known 3 stages early)" : "");
+  }
+
+  std::printf("\nAblation - configuration words streamed per cycle\n");
+  std::printf("%-12s %10s\n", "words/cycle", "avg speedup");
+  for (int words : {2, 4, 8, 16, 32}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.config_words_per_cycle = words;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f\n", words, mean(speedups));
+  }
+
+  std::printf("\nAblation - register-file read ports (input context fetch)\n");
+  std::printf("%-12s %10s\n", "ports", "avg speedup");
+  for (int ports : {1, 2, 4, 8}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.regfile_read_ports = ports;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f\n", ports, mean(speedups));
+  }
+
+  std::printf("\nAblation - register-file write ports (result drain)\n");
+  std::printf("%-12s %10s\n", "ports", "avg speedup");
+  for (int ports : {1, 2, 4, 8, 16}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.regfile_write_ports = ports;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f\n", ports, mean(speedups));
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: ALU row chaining. The paper states several simple-arithmetic
+// rows execute within one processor-equivalent cycle; this sweep shows how
+// much of the speedup depends on that chaining depth, and on the
+// multiplier/memory row costs.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "rra/array_shape.hpp"
+
+using namespace dim;
+using namespace dim::bench;
+
+int main() {
+  const auto workloads = prepare_all();
+
+  std::printf("Ablation - ALU rows chained per cycle (C#2, 64 slots, speculation)\n");
+  std::printf("%-12s %10s\n", "rows/cycle", "avg speedup");
+  for (int rows : {1, 2, 3, 4, 6}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.alu_rows_per_cycle = rows;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f%s\n", rows, mean(speedups), rows == 3 ? "   <- paper setting" : "");
+  }
+
+  std::printf("\nAblation - multiplier row cost (cycles per multiply row)\n");
+  std::printf("%-12s %10s\n", "mul cycles", "avg speedup");
+  for (int mul : {1, 2, 4}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.mul_row_cycles = mul;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f\n", mul, mean(speedups));
+  }
+  return 0;
+}

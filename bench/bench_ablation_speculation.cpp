@@ -1,0 +1,68 @@
+// Ablation: the speculation policy — depth of speculative basic blocks,
+// misspeculation penalty, and the flush rule (the paper flushes when the
+// branch counter reaches the opposite saturation; a naive small misspec
+// cap destroys loop configurations on every loop exit).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "rra/array_shape.hpp"
+
+using namespace dim;
+using namespace dim::bench;
+
+int main() {
+  const auto workloads = prepare_all();
+
+  std::printf("Ablation - speculative basic-block depth (C#2, 64 slots)\n");
+  std::printf("%-12s %10s\n", "depth", "avg speedup");
+  {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      speedups.push_back(speedup_of(p, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, false)));
+    }
+    std::printf("%-12s %10.2f\n", "off", mean(speedups));
+  }
+  for (int depth : {1, 2, 3, 5}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.max_spec_bbs = depth;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f%s\n", depth, mean(speedups),
+                depth == 3 ? "   <- paper setting (up to three basic blocks)" : "");
+  }
+
+  std::printf("\nAblation - misspeculation flush policy\n");
+  std::printf("%-24s %10s\n", "policy", "avg speedup");
+  for (int threshold : {0, 1, 4, 16}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.misspec_flush_threshold = threshold;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    char label[64];
+    if (threshold == 0) {
+      std::snprintf(label, sizeof label, "counter rule only");
+    } else {
+      std::snprintf(label, sizeof label, "counter + cap %d", threshold);
+    }
+    std::printf("%-24s %10.2f%s\n", label, mean(speedups),
+                threshold == 0 ? "   <- paper rule" : "");
+  }
+
+  std::printf("\nAblation - misspeculation penalty (pipeline refill cycles)\n");
+  std::printf("%-12s %10s\n", "penalty", "avg speedup");
+  for (int penalty : {0, 2, 8, 32}) {
+    std::vector<double> speedups;
+    for (const auto& p : workloads) {
+      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+      cfg.array_timing.misspec_penalty = penalty;
+      speedups.push_back(speedup_of(p, cfg));
+    }
+    std::printf("%-12d %10.2f\n", penalty, mean(speedups));
+  }
+  return 0;
+}

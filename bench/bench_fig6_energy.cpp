@@ -1,0 +1,55 @@
+// Reproduces paper Figure 6: total energy for the same experiment as
+// Figure 5, plus the headline number — configuration #2 with 64 slots
+// consumes ~1.73x less energy than the standalone MIPS on average.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "power/power_model.hpp"
+#include "rra/array_shape.hpp"
+
+using namespace dim;
+using namespace dim::bench;
+
+int main() {
+  std::printf("Figure 6 - total energy (uJ), component breakdown (64 slots)\n\n");
+
+  for (const char* name : {"rijndael_e", "rawaudio_d", "jpeg_e"}) {
+    const PreparedWorkload p = prepare(name);
+    std::printf("=== %s ===\n", p.workload.display.c_str());
+    std::printf("%-24s %8s %8s %8s %8s %8s %8s | %8s %7s\n", "", "core", "imem", "dmem",
+                "array", "rcache", "BT", "total", "ratio");
+    const power::EnergyBreakdown base = power::compute_energy(p.baseline, 0);
+    std::printf("%-24s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f | %8.1f %7s\n", "MIPS standalone",
+                base.core / 1e3, base.imem / 1e3, base.dmem / 1e3, base.array / 1e3,
+                base.rcache / 1e3, base.bt / 1e3, base.total() / 1e3, "1.00x");
+
+    for (int c : {0, 2}) {
+      const rra::ArrayShape shape =
+          c == 0 ? rra::ArrayShape::config1() : rra::ArrayShape::config3();
+      for (int spec = 0; spec < 2; ++spec) {
+        const auto st =
+            accel::run_accelerated(p.program, accel::SystemConfig::with(shape, 64, spec == 1));
+        const power::EnergyBreakdown e = power::compute_energy(st, 64);
+        char label[64];
+        std::snprintf(label, sizeof label, "C#%d %s", c + 1, spec ? "spec" : "no-spec");
+        std::printf("%-24s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f | %8.1f %6.2fx\n", label,
+                    e.core / 1e3, e.imem / 1e3, e.dmem / 1e3, e.array / 1e3, e.rcache / 1e3,
+                    e.bt / 1e3, e.total() / 1e3, base.total() / e.total());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Headline: average energy ratio over the whole suite at C#2 / 64 slots.
+  std::vector<double> ratios;
+  for (const auto& p : prepare_all()) {
+    const auto st = accel::run_accelerated(
+        p.program, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+    ratios.push_back(power::compute_energy(p.baseline, 0).total() /
+                     power::compute_energy(st, 64).total());
+  }
+  std::printf("Average energy ratio, all 18 benchmarks, C#2 / 64 slots / speculation:\n");
+  std::printf("  measured %.2fx less energy than standalone MIPS (paper: 1.73x)\n", mean(ratios));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Paper future work, quantified: "techniques to switch off functional
+// units when they are being not used". Sweeps the gating efficiency of the
+// array's idle static/clock energy and reports the resulting total-energy
+// ratio vs the standalone MIPS.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "power/power_model.hpp"
+#include "rra/array_shape.hpp"
+
+using namespace dim;
+using namespace dim::bench;
+
+int main() {
+  const auto workloads = prepare_all();
+
+  std::printf("Future work - idle functional-unit power gating (C#2, 64 slots, spec)\n\n");
+  std::printf("%-18s %16s %18s\n", "gating efficiency", "avg energy ratio", "avg array share");
+  for (double gating : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::vector<double> ratios, shares;
+    for (const auto& p : workloads) {
+      const auto st = accel::run_accelerated(
+          p.program, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+      power::EnergyParams params;
+      params.power_gating_efficiency = gating;
+      const auto e = power::compute_energy(st, 64, params);
+      const auto base = power::compute_energy(p.baseline, 0, params);
+      ratios.push_back(base.total() / e.total());
+      shares.push_back(e.array / e.total());
+    }
+    std::printf("%-18.2f %15.2fx %17.1f%%%s\n", gating, mean(ratios), 100.0 * mean(shares),
+                gating == 0.0 ? "   <- paper's evaluated system" : "");
+  }
+  std::printf(
+      "\nShape to verify: gating monotonically improves the energy ratio; the\n"
+      "idle-array share of total energy is what the paper's future work aims\n"
+      "to reclaim.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// google-benchmark micro-benchmarks of the simulator stack itself:
+// assembler throughput, baseline interpreter speed, accelerated-system
+// speed, and DIM translation cost. These guard against performance
+// regressions that would make the paper sweeps impractical.
+#include <benchmark/benchmark.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+#include "work/workload.hpp"
+
+using namespace dim;
+
+namespace {
+
+const work::Workload& crc_workload() {
+  static const work::Workload wl = work::make_workload("crc32", 1);
+  return wl;
+}
+
+const asmblr::Program& crc_program() {
+  static const asmblr::Program p = asmblr::assemble(crc_workload().source);
+  return p;
+}
+
+void BM_Assemble(benchmark::State& state) {
+  const std::string& src = crc_workload().source;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asmblr::assemble(src));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * src.size()));
+}
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineRun(benchmark::State& state) {
+  const asmblr::Program& p = crc_program();
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const sim::RunResult r = sim::run_baseline(p);
+    instructions += r.instructions;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["instr/s"] = benchmark::Counter(static_cast<double>(instructions),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BaselineRun)->Unit(benchmark::kMillisecond);
+
+void BM_AcceleratedRun(benchmark::State& state) {
+  const asmblr::Program& p = crc_program();
+  const auto cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, state.range(0) != 0);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const accel::AccelStats st = accel::run_accelerated(p, cfg);
+    instructions += st.instructions;
+    benchmark::DoNotOptimize(st.cycles);
+  }
+  state.counters["instr/s"] = benchmark::Counter(static_cast<double>(instructions),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AcceleratedRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalStep(benchmark::State& state) {
+  mem::Memory m;
+  crc_program().load_into(m);
+  sim::CpuState s;
+  for (auto _ : state) {
+    s = sim::CpuState{};
+    s.pc = crc_program().entry;
+    s.regs[29] = 0x7FFF0000;
+    s.regs[28] = 0x10008000;
+    for (int i = 0; i < 4096 && !s.halted; ++i) {
+      benchmark::DoNotOptimize(sim::step(s, m));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FunctionalStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

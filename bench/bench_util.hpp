@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "work/workload.hpp"
+
+namespace dim::bench {
+
+struct PreparedWorkload {
+  work::Workload workload;
+  asmblr::Program program;
+  accel::AccelStats baseline;
+};
+
+inline PreparedWorkload prepare(const std::string& name, int scale = 1) {
+  PreparedWorkload p{work::make_workload(name, scale), {}, {}};
+  p.program = asmblr::assemble(p.workload.source);
+  p.baseline = accel::baseline_as_stats(p.program, sim::MachineConfig{});
+  return p;
+}
+
+inline std::vector<PreparedWorkload> prepare_all(int scale = 1) {
+  std::vector<PreparedWorkload> out;
+  for (const std::string& name : work::workload_names()) out.push_back(prepare(name, scale));
+  return out;
+}
+
+// Runs accelerated and returns the speedup vs the prepared baseline.
+// Asserts transparency — a bench that silently produced wrong results
+// would be worthless.
+inline double speedup_of(const PreparedWorkload& p, const accel::SystemConfig& cfg) {
+  const accel::AccelStats st = accel::run_accelerated(p.program, cfg);
+  if (st.final_state.output != p.baseline.final_state.output ||
+      st.memory_hash != p.baseline.memory_hash) {
+    std::fprintf(stderr, "TRANSPARENCY VIOLATION in %s\n", p.workload.name.c_str());
+    std::abort();
+  }
+  return static_cast<double>(p.baseline.cycles) / static_cast<double>(st.cycles);
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace dim::bench

@@ -1,0 +1,73 @@
+// Design-space exploration — the paper's stated future work ("we are
+// working on finding the ideal shape for the reconfigurable array"). Sweeps
+// array shapes for a chosen workload and reports speedup against area, so a
+// designer can pick the knee of the curve.
+//
+// Usage: design_explorer [workload-name] (default: sha)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "power/area_model.hpp"
+#include "work/workload.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "sha";
+  const dim::work::Workload wl = dim::work::make_workload(name, 1);
+  const dim::asmblr::Program program = dim::asmblr::assemble(wl.source);
+  const dim::accel::AccelStats baseline =
+      dim::accel::baseline_as_stats(program, dim::sim::MachineConfig{});
+
+  std::printf("Design-space exploration for %s\n", wl.display.c_str());
+  std::printf("%-28s %10s %12s %14s\n", "shape (lines x alu/mul/mem)", "speedup",
+              "gates", "speedup/Mgate");
+
+  struct Point {
+    dim::rra::ArrayShape shape;
+    double speedup;
+    int64_t gates;
+  };
+  std::vector<Point> points;
+
+  for (int lines : {8, 16, 24, 48, 96, 150}) {
+    for (int alus : {4, 8, 12}) {
+      dim::rra::ArrayShape shape{lines, alus, 2, 4};
+      const auto st = dim::accel::run_accelerated(
+          program, dim::accel::SystemConfig::with(shape, 64, true));
+      if (st.final_state.output != baseline.final_state.output) {
+        std::fprintf(stderr, "transparency violation!\n");
+        return 1;
+      }
+      const double speedup =
+          static_cast<double>(baseline.cycles) / static_cast<double>(st.cycles);
+      const int64_t gates = dim::power::array_area(shape).total_gates;
+      points.push_back({shape, speedup, gates});
+      char label[64];
+      std::snprintf(label, sizeof label, "%3d x %2d/%d/%d", lines, alus, shape.muls_per_line,
+                    shape.ldsts_per_line);
+      std::printf("%-28s %9.2fx %12lld %14.2f\n", label, speedup,
+                  static_cast<long long>(gates),
+                  speedup / (static_cast<double>(gates) / 1e6));
+    }
+  }
+
+  // Report the Pareto knee: best speedup-per-gate among shapes achieving at
+  // least 95% of the maximum speedup.
+  double best_speedup = 0;
+  for (const Point& p : points) best_speedup = std::max(best_speedup, p.speedup);
+  const Point* knee = nullptr;
+  for (const Point& p : points) {
+    if (p.speedup >= 0.95 * best_speedup && (knee == nullptr || p.gates < knee->gates)) {
+      knee = &p;
+    }
+  }
+  if (knee != nullptr) {
+    std::printf(
+        "\nknee of the curve: %d lines x %d ALUs reaches %.2fx (%.0f%% of max) with %lld gates\n",
+        knee->shape.lines, knee->shape.alus_per_line, knee->speedup,
+        100.0 * knee->speedup / best_speedup, static_cast<long long>(knee->gates));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Statistics of one accelerated (or baseline) run — the raw material for
+// every speedup, power and energy figure in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cpu_state.hpp"
+
+namespace dim::accel {
+
+struct AccelStats {
+  // Work.
+  uint64_t instructions = 0;        // total committed (processor + array)
+  uint64_t proc_instructions = 0;   // retired through the pipeline
+  uint64_t array_instructions = 0;  // committed inside the array
+
+  // Time.
+  uint64_t cycles = 0;
+  uint64_t proc_cycles = 0;
+  uint64_t array_cycles = 0;
+  uint64_t reconfig_stall_cycles = 0;
+  uint64_t misspec_penalty_cycles = 0;
+
+  // Array / DIM events.
+  uint64_t array_activations = 0;
+  uint64_t misspeculations = 0;
+  uint64_t config_flushes = 0;
+  uint64_t extensions = 0;
+  uint64_t rcache_hits = 0;
+  uint64_t rcache_misses = 0;
+  uint64_t rcache_insertions = 0;
+  uint64_t rcache_evictions = 0;
+  uint64_t bt_observed = 0;
+
+  // Activity for the power model.
+  uint64_t array_alu_ops = 0;
+  uint64_t array_mul_ops = 0;
+  uint64_t array_mem_ops = 0;
+  uint64_t proc_mem_accesses = 0;
+  uint64_t config_words_loaded = 0;   // reconfiguration cache reads
+  uint64_t config_words_written = 0;  // reconfiguration cache writes
+
+  // Outcome.
+  bool hit_limit = false;
+  sim::CpuState final_state;
+  uint64_t memory_hash = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+  // Fraction of committed instructions that ran on the array ("coverage").
+  double array_coverage() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(array_instructions) / static_cast<double>(instructions);
+  }
+};
+
+}  // namespace dim::accel

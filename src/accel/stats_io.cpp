@@ -1,0 +1,74 @@
+#include "accel/stats_io.hpp"
+
+#include <iomanip>
+
+namespace dim::accel {
+namespace {
+
+void field(std::ostream& out, const char* key, uint64_t value, bool comma = true) {
+  out << "  \"" << key << "\": " << value << (comma ? ",\n" : "\n");
+}
+
+// Minimal JSON string escaping for the label field.
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0020";  // control chars degrade to a space escape
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const AccelStats& stats, const std::string& label) {
+  out << "{\n";
+  if (!label.empty()) out << "  \"label\": \"" << escape(label) << "\",\n";
+  field(out, "instructions", stats.instructions);
+  field(out, "proc_instructions", stats.proc_instructions);
+  field(out, "array_instructions", stats.array_instructions);
+  field(out, "cycles", stats.cycles);
+  field(out, "proc_cycles", stats.proc_cycles);
+  field(out, "array_cycles", stats.array_cycles);
+  field(out, "reconfig_stall_cycles", stats.reconfig_stall_cycles);
+  field(out, "misspec_penalty_cycles", stats.misspec_penalty_cycles);
+  field(out, "array_activations", stats.array_activations);
+  field(out, "misspeculations", stats.misspeculations);
+  field(out, "config_flushes", stats.config_flushes);
+  field(out, "extensions", stats.extensions);
+  field(out, "rcache_hits", stats.rcache_hits);
+  field(out, "rcache_misses", stats.rcache_misses);
+  field(out, "rcache_insertions", stats.rcache_insertions);
+  field(out, "rcache_evictions", stats.rcache_evictions);
+  field(out, "array_alu_ops", stats.array_alu_ops);
+  field(out, "array_mul_ops", stats.array_mul_ops);
+  field(out, "array_mem_ops", stats.array_mem_ops);
+  field(out, "proc_mem_accesses", stats.proc_mem_accesses);
+  field(out, "hit_limit", stats.hit_limit ? 1 : 0);
+  out << "  \"ipc\": " << std::setprecision(6) << stats.ipc() << ",\n";
+  out << "  \"array_coverage\": " << std::setprecision(6) << stats.array_coverage() << "\n";
+  out << "}\n";
+}
+
+void write_report(std::ostream& out, const AccelStats& stats) {
+  out << "instructions: " << stats.instructions << " (" << stats.proc_instructions
+      << " on processor, " << stats.array_instructions << " on array, "
+      << std::setprecision(3) << 100.0 * stats.array_coverage() << "% coverage)\n";
+  out << "cycles:       " << stats.cycles << " (" << stats.proc_cycles << " processor + "
+      << stats.array_cycles << " array; " << stats.reconfig_stall_cycles
+      << " reconfig stalls, " << stats.misspec_penalty_cycles << " misspec penalties)\n";
+  out << "array:        " << stats.array_activations << " activations, "
+      << stats.misspeculations << " misspeculations, " << stats.config_flushes
+      << " flushes, " << stats.extensions << " extensions\n";
+  out << "rcache:       " << stats.rcache_insertions << " insertions, "
+      << stats.rcache_evictions << " evictions, " << stats.rcache_hits << " hits\n";
+  out << "ipc:          " << std::setprecision(4) << stats.ipc() << "\n";
+}
+
+}  // namespace dim::accel

@@ -1,0 +1,19 @@
+// Serialization of run statistics: JSON (for downstream analysis scripts)
+// and a human-readable summary.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "accel/stats.hpp"
+
+namespace dim::accel {
+
+// Writes `stats` as a single JSON object. Keys are stable API.
+void write_json(std::ostream& out, const AccelStats& stats,
+                const std::string& label = "");
+
+// Multi-line human-readable report.
+void write_report(std::ostream& out, const AccelStats& stats);
+
+}  // namespace dim::accel

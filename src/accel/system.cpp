@@ -1,0 +1,201 @@
+#include "accel/system.hpp"
+
+#include "common/bitutil.hpp"
+#include "isa/decoder.hpp"
+#include "sim/executor.hpp"
+
+namespace dim::accel {
+
+AcceleratedSystem::AcceleratedSystem(const asmblr::Program& program,
+                                     const SystemConfig& config)
+    : config_(config), pipeline_(config.machine.timing) {
+  program.load_into(memory_);
+  state_.pc = program.entry;
+  state_.regs[29] = config_.machine.initial_sp;
+  state_.regs[28] = config_.machine.initial_gp;
+
+  bt::TranslatorParams tparams;
+  tparams.shape = config_.shape;
+  tparams.speculation = config_.speculation;
+  tparams.max_spec_bbs = config_.max_spec_bbs;
+  tparams.min_instructions = config_.min_instructions;
+  tparams.allow_mem = config_.allow_mem;
+  tparams.allow_shifts = config_.allow_shifts;
+  tparams.allow_mult = config_.allow_mult;
+  tparams.max_input_regs = config_.max_input_regs;
+  tparams.max_output_regs = config_.max_output_regs;
+  tparams.allowed_starts = config_.allowed_starts;
+  rcache_ = std::make_unique<bt::ReconfigCache>(config_.cache_slots,
+                                                config_.cache_replacement);
+  translator_ = std::make_unique<bt::Translator>(tparams, rcache_.get(), &predictor_);
+}
+
+AcceleratedSystem::~AcceleratedSystem() = default;
+
+void AcceleratedSystem::execute_on_array(rra::Configuration* config,
+                                         AccelStats& stats) {
+  translator_->on_array_executed();
+  extension_candidate_ = false;
+
+  const uint32_t config_pc = config->start_pc;
+  const rra::ArrayExecOutcome outcome = rra::execute_configuration(
+      *config, state_, memory_, &pipeline_.dcache(), config_.array_timing);
+
+  ++stats.array_activations;
+  stats.array_instructions += static_cast<uint64_t>(outcome.committed_ops);
+  stats.instructions += static_cast<uint64_t>(outcome.committed_ops);
+  array_cycle_acc_ += outcome.total_cycles();
+  stats.reconfig_stall_cycles += outcome.reconfig_stall_cycles;
+  stats.misspec_penalty_cycles += outcome.misspec_penalty_cycles;
+  stats.array_alu_ops += static_cast<uint64_t>(outcome.alu_ops);
+  stats.array_mul_ops += static_cast<uint64_t>(outcome.mul_ops);
+  stats.array_mem_ops += static_cast<uint64_t>(outcome.mem_ops);
+  stats.config_words_loaded += static_cast<uint64_t>(config->instruction_count());
+
+  // Update the bimodal counters with every branch the array resolved.
+  for (const rra::BranchOutcome& b : outcome.branch_outcomes) {
+    predictor_.update(b.pc, b.taken);
+  }
+
+  if (outcome.misspeculated) {
+    ++stats.misspeculations;
+    ++config->misspec_count;
+    // Flush when the counter reached the opposite saturation for the
+    // mispredicted direction, or after the safety cap.
+    bool flush = config_.misspec_flush_threshold > 0 &&
+                 config->misspec_count >= config_.misspec_flush_threshold;
+    const auto dir = predictor_.saturated_direction(outcome.misspec_branch_pc);
+    if (dir.has_value()) {
+      for (const rra::ArrayOp& op : config->ops) {
+        if (op.is_branch && op.pc == outcome.misspec_branch_pc &&
+            op.predicted_taken != *dir) {
+          flush = true;
+          break;
+        }
+      }
+    }
+    if (flush) {
+      rcache_->flush(config_pc);
+      ++stats.config_flushes;
+    }
+    return;
+  }
+
+  // Fully committed. If the resume instruction is a conditional branch and
+  // there is speculation depth left, arm the extension check: when that
+  // branch retires we may merge its following basic block.
+  if (config_.speculation && !config->no_extend &&
+      config->num_bbs <= config_.max_spec_bbs) {
+    const isa::Instr next = isa::decode(memory_.read32(state_.pc));
+    if (isa::is_branch(next.op)) {
+      extension_candidate_ = true;
+      extension_config_pc_ = config_pc;
+      extension_branch_pc_ = state_.pc;
+    }
+  }
+}
+
+AccelStats AcceleratedSystem::run() {
+  AccelStats stats;
+  const uint64_t max_instructions = config_.machine.max_instructions;
+
+  while (!state_.halted && stats.instructions < max_instructions) {
+    // Probe the reconfiguration cache (unless an extension capture is in
+    // flight — DIM must then observe the raw stream).
+    if (config_.array_enabled && !translator_->extending()) {
+      if (rra::Configuration* config = rcache_->lookup(state_.pc)) {
+        execute_on_array(config, stats);
+        continue;
+      }
+    }
+
+    const bool was_extension_candidate = extension_candidate_;
+    extension_candidate_ = false;
+
+    const sim::StepInfo info = sim::step(state_, memory_);
+    ++stats.instructions;
+    ++stats.proc_instructions;
+    pipeline_.retire(info);
+    if (info.mem_access) ++stats.proc_mem_accesses;
+
+    // Extension: the branch at the end of a fully-committed configuration
+    // just retired. If its counter is saturated in the direction it went,
+    // the following basic block becomes part of the configuration.
+    bool branch_absorbed_by_extension = false;
+    if (was_extension_candidate && info.pc == extension_branch_pc_ &&
+        isa::is_branch(info.instr.op)) {
+      const auto dir = predictor_.saturated_direction(info.pc);
+      if (dir.has_value() && *dir == info.taken) {
+        if (rra::Configuration* config = rcache_->lookup(extension_config_pc_)) {
+          if (!translator_->begin_extension(*config, info.instr, info.pc, *dir)) {
+            config->no_extend = true;
+          } else {
+            ++stats.extensions;
+            // The branch is already part of the extension builder; observing
+            // it again would merge a duplicate. Keep the predictor current.
+            predictor_.update(info.pc, info.taken);
+            branch_absorbed_by_extension = true;
+          }
+        }
+      }
+    }
+
+    if (!branch_absorbed_by_extension) {
+      if (config_.translation_cost_per_instr > 0) {
+        // Software-BT emulation: inserting a configuration costs the
+        // processor time proportional to its size.
+        const uint64_t words_before = rcache_->words_written();
+        translator_->observe(info);
+        const uint64_t inserted = rcache_->words_written() - words_before;
+        if (inserted > 0) {
+          pipeline_.charge(inserted * config_.translation_cost_per_instr);
+        }
+      } else {
+        translator_->observe(info);
+      }
+    }
+  }
+
+  stats.hit_limit = !state_.halted;
+  stats.proc_cycles = pipeline_.cycles();
+  stats.array_cycles = array_cycle_acc_;
+  stats.cycles = stats.proc_cycles + stats.array_cycles;
+  stats.rcache_hits = rcache_->hits();
+  stats.rcache_misses = rcache_->misses();
+  stats.rcache_insertions = rcache_->insertions();
+  stats.rcache_evictions = rcache_->evictions();
+  stats.bt_observed = translator_->stats().observed_instructions;
+  stats.config_words_written = rcache_->words_written();
+  stats.final_state = state_;
+  stats.memory_hash = memory_.content_hash();
+  return stats;
+}
+
+AccelStats run_accelerated(const asmblr::Program& program, const SystemConfig& config) {
+  AcceleratedSystem system(program, config);
+  return system.run();
+}
+
+AccelStats baseline_as_stats(const asmblr::Program& program,
+                             const sim::MachineConfig& machine) {
+  const sim::RunResult r = sim::run_baseline(program, machine);
+  AccelStats stats;
+  stats.instructions = r.instructions;
+  stats.proc_instructions = r.instructions;
+  stats.cycles = r.cycles;
+  stats.proc_cycles = r.cycles;
+  stats.proc_mem_accesses = r.mem_accesses;
+  stats.hit_limit = r.hit_limit;
+  stats.final_state = r.state;
+  stats.memory_hash = r.memory_hash;
+  return stats;
+}
+
+SpeedupResult measure_speedup(const asmblr::Program& program, const SystemConfig& config) {
+  SpeedupResult result;
+  result.baseline = baseline_as_stats(program, config.machine);
+  result.accelerated = run_accelerated(program, config);
+  return result;
+}
+
+}  // namespace dim::accel

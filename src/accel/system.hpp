@@ -1,0 +1,116 @@
+// The complete system of the paper: MIPS core + DIM binary translator +
+// reconfigurable array + reconfiguration cache + bimodal speculation.
+//
+// Per retired PC the reconfiguration cache is probed; on a hit the array is
+// reconfigured (overlapped with the pipeline front-end), executes the
+// translated sequence as a functional unit, writes results back and bumps
+// the PC past the sequence. On a miss the instruction goes through the
+// normal pipeline while DIM observes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "asm/program.hpp"
+#include "bt/predictor.hpp"
+#include "bt/rcache.hpp"
+#include "bt/translator.hpp"
+#include "accel/stats.hpp"
+#include "mem/memory.hpp"
+#include "rra/array_exec.hpp"
+#include "rra/array_shape.hpp"
+#include "sim/machine.hpp"
+#include "sim/pipeline.hpp"
+
+namespace dim::accel {
+
+struct SystemConfig {
+  sim::MachineConfig machine;          // baseline core timing + run limits
+  rra::ArrayShape shape = rra::ArrayShape::config1();
+  rra::ArrayTimingParams array_timing;
+  size_t cache_slots = 64;
+  bt::Replacement cache_replacement = bt::Replacement::kFifo;  // paper: FIFO
+  bool speculation = true;
+  int max_spec_bbs = 3;
+  int min_instructions = 4;
+  // Related-work emulation (see bt::TranslatorParams): CCA-style FU
+  // restrictions and warp-style kernel-only translation.
+  bool allow_mem = true;
+  bool allow_shifts = true;
+  bool allow_mult = true;
+  int max_input_regs = rra::kNumCtxRegs;
+  int max_output_regs = rra::kNumCtxRegs;
+  std::unordered_set<uint32_t> allowed_starts;
+  // A configuration is flushed when its mispredicted branch reaches the
+  // opposite counter saturation (paper rule). Optionally also after this
+  // many misspeculations (0 = disabled; kept for the ablation bench — a
+  // small cap destroys loop configurations on every loop exit).
+  int misspec_flush_threshold = 0;
+  // Cycles charged to the processor per translated instruction when a
+  // configuration is inserted. 0 = the paper's hardware DIM (translation
+  // runs in parallel, free). Nonzero emulates software binary translation
+  // (warp-processing-style CAD) — see bench_ablation_btcost.
+  uint64_t translation_cost_per_instr = 0;
+  bool array_enabled = true;  // false = plain baseline run (for A/B tests)
+
+  static SystemConfig with(const rra::ArrayShape& s, size_t slots, bool spec) {
+    SystemConfig c;
+    c.shape = s;
+    c.cache_slots = slots;
+    c.speculation = spec;
+    return c;
+  }
+};
+
+class AcceleratedSystem {
+ public:
+  AcceleratedSystem(const asmblr::Program& program, const SystemConfig& config);
+  ~AcceleratedSystem();
+
+  AccelStats run();
+
+  // Introspection for tests.
+  bt::ReconfigCache& rcache() { return *rcache_; }
+  bt::BimodalPredictor& predictor() { return predictor_; }
+  sim::CpuState& state() { return state_; }
+  mem::Memory& memory() { return memory_; }
+
+ private:
+  void execute_on_array(rra::Configuration* config, AccelStats& stats);
+
+  SystemConfig config_;
+  mem::Memory memory_;
+  sim::CpuState state_;
+  sim::PipelineModel pipeline_;
+  bt::BimodalPredictor predictor_;
+  std::unique_ptr<bt::ReconfigCache> rcache_;
+  std::unique_ptr<bt::Translator> translator_;
+
+  // Speculation-extension bookkeeping: set after a fully-committed array
+  // execution whose resume instruction is a conditional branch.
+  bool extension_candidate_ = false;
+  uint32_t extension_config_pc_ = 0;
+  uint32_t extension_branch_pc_ = 0;
+
+  uint64_t array_cycle_acc_ = 0;  // array cycles (outside the pipeline model)
+};
+
+// Runs `program` both on the plain MIPS and on MIPS+DIM+array with the same
+// core timing; the pair is what every speedup figure reports.
+struct SpeedupResult {
+  AccelStats baseline;
+  AccelStats accelerated;
+  double speedup() const {
+    return accelerated.cycles == 0
+               ? 0.0
+               : static_cast<double>(baseline.cycles) / static_cast<double>(accelerated.cycles);
+  }
+};
+
+AccelStats run_accelerated(const asmblr::Program& program, const SystemConfig& config);
+AccelStats baseline_as_stats(const asmblr::Program& program,
+                             const sim::MachineConfig& machine);
+SpeedupResult measure_speedup(const asmblr::Program& program, const SystemConfig& config);
+
+}  // namespace dim::accel

@@ -1,0 +1,44 @@
+// Two-pass MIPS I assembler.
+//
+// Supported syntax:
+//   - sections: .text [addr], .data [addr]
+//   - data directives: .word, .half, .byte, .asciiz, .ascii, .space, .align
+//   - labels ("name:"), label±offset operands
+//   - every MIPS I integer instruction (see isa/instruction.hpp)
+//   - pseudo-instructions: nop, move, li, la, b, beqz, bnez, neg, not,
+//     blt/ble/bgt/bge (+ unsigned u-variants), mul (mult+mflo), subi/subiu,
+//     seq-style comparisons are not provided (use slt/slti directly)
+//
+// Comments start with '#' or "//" and run to end of line.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asm/program.hpp"
+
+namespace dim::asmblr {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct AsmOptions {
+  uint32_t text_base = 0x00400000;
+  uint32_t data_base = 0x10010000;
+};
+
+// Assembles `source`. The program entry point is the "main" label if
+// defined, else the start of .text. Throws AsmError on the first error.
+Program assemble(std::string_view source, const AsmOptions& options = {});
+
+}  // namespace dim::asmblr

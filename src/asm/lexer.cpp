@@ -1,0 +1,144 @@
+#include "asm/lexer.hpp"
+
+#include "asm/assembler.hpp"
+
+namespace dim::asmblr {
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '.';
+}
+
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+
+char unescape(char c, int line_no) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return '\0';
+    case '\\': return '\\';
+    case '"': return '"';
+    case '\'': return '\'';
+    default:
+      throw AsmError(line_no, std::string("unknown escape: \\") + c);
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex_line(std::string_view line, int line_no) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = line.size();
+
+  auto push = [&](TokKind kind, std::string text, int64_t value, size_t col) {
+    out.push_back(Token{kind, std::move(text), value, static_cast<int>(col)});
+  };
+
+  while (i < n) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') break;
+
+    const size_t start = i;
+    if (c == ',') { push(TokKind::kComma, ",", 0, start); ++i; continue; }
+    if (c == '(') { push(TokKind::kLParen, "(", 0, start); ++i; continue; }
+    if (c == ')') { push(TokKind::kRParen, ")", 0, start); ++i; continue; }
+    if (c == ':') { push(TokKind::kColon, ":", 0, start); ++i; continue; }
+    if (c == '+') { push(TokKind::kPlus, "+", 0, start); ++i; continue; }
+
+    if (c == '$') {
+      ++i;
+      while (i < n && is_ident_char(line[i])) ++i;
+      push(TokKind::kReg, std::string(line.substr(start, i - start)), 0, start);
+      continue;
+    }
+
+    if (c == '\'') {
+      if (i + 2 >= n) throw AsmError(line_no, "unterminated char literal");
+      char value;
+      if (line[i + 1] == '\\') {
+        if (i + 3 >= n || line[i + 3] != '\'') throw AsmError(line_no, "bad char literal");
+        value = unescape(line[i + 2], line_no);
+        i += 4;
+      } else {
+        if (line[i + 2] != '\'') throw AsmError(line_no, "bad char literal");
+        value = line[i + 1];
+        i += 3;
+      }
+      push(TokKind::kNumber, "", static_cast<unsigned char>(value), start);
+      continue;
+    }
+
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= n) throw AsmError(line_no, "unterminated string");
+          text.push_back(unescape(line[i + 1], line_no));
+          i += 2;
+        } else {
+          text.push_back(line[i]);
+          ++i;
+        }
+      }
+      if (i >= n) throw AsmError(line_no, "unterminated string");
+      ++i;  // closing quote
+      push(TokKind::kString, std::move(text), 0, start);
+      continue;
+    }
+
+    const bool neg = (c == '-');
+    if (neg || (c >= '0' && c <= '9')) {
+      size_t j = i + (neg ? 1 : 0);
+      if (j >= n || line[j] < '0' || line[j] > '9') {
+        if (neg) { push(TokKind::kMinus, "-", 0, start); ++i; continue; }
+      }
+      int64_t value = 0;
+      if (j + 1 < n && line[j] == '0' && (line[j + 1] == 'x' || line[j + 1] == 'X')) {
+        j += 2;
+        if (j >= n) throw AsmError(line_no, "bad hex literal");
+        while (j < n) {
+          const char h = line[j];
+          int digit;
+          if (h >= '0' && h <= '9') digit = h - '0';
+          else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
+          else break;
+          value = value * 16 + digit;
+          ++j;
+        }
+      } else {
+        while (j < n && line[j] >= '0' && line[j] <= '9') {
+          value = value * 10 + (line[j] - '0');
+          ++j;
+        }
+      }
+      i = j;
+      push(TokKind::kNumber, "", neg ? -value : value, start);
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      ++i;
+      while (i < n && is_ident_char(line[i])) ++i;
+      push(TokKind::kIdent, std::string(line.substr(start, i - start)), 0, start);
+      continue;
+    }
+
+    throw AsmError(line_no, std::string("unexpected character: ") + c);
+  }
+
+  push(TokKind::kEnd, "", 0, n);
+  return out;
+}
+
+}  // namespace dim::asmblr

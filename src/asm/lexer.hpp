@@ -1,0 +1,35 @@
+// Line-oriented tokenizer for the MIPS assembler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dim::asmblr {
+
+enum class TokKind : uint8_t {
+  kIdent,     // labels, mnemonics, directives (".word" has the dot included)
+  kReg,       // $t0, $3, ...
+  kNumber,    // decimal, hex (0x..), negative, char literal 'a'
+  kString,    // "..." with C escapes
+  kComma,
+  kLParen,
+  kRParen,
+  kColon,
+  kPlus,
+  kMinus,
+  kEnd,       // end of line
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // for idents/regs/strings
+  int64_t value = 0;  // for numbers
+  int column = 0;
+};
+
+// Tokenizes one source line. Throws AsmError (see assembler.hpp) on bad input.
+std::vector<Token> lex_line(std::string_view line, int line_no);
+
+}  // namespace dim::asmblr

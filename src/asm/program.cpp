@@ -1,0 +1,27 @@
+#include "asm/program.hpp"
+
+#include <stdexcept>
+
+namespace dim::asmblr {
+
+void Program::load_into(mem::Memory& memory) const {
+  for (const Segment& seg : segments) {
+    memory.write_block(seg.base, seg.bytes.data(), seg.bytes.size());
+  }
+}
+
+uint32_t Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw std::out_of_range("undefined symbol: " + name);
+  }
+  return it->second;
+}
+
+size_t Program::image_bytes() const {
+  size_t total = 0;
+  for (const Segment& seg : segments) total += seg.bytes.size();
+  return total;
+}
+
+}  // namespace dim::asmblr

@@ -1,0 +1,32 @@
+// Assembled program image: segments of bytes plus a symbol table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace dim::asmblr {
+
+struct Segment {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct Program {
+  uint32_t entry = 0;
+  std::vector<Segment> segments;
+  std::unordered_map<std::string, uint32_t> symbols;
+
+  void load_into(mem::Memory& memory) const;
+
+  // Looks up a symbol; throws std::out_of_range if missing.
+  uint32_t symbol(const std::string& name) const;
+
+  // Total number of instruction/data bytes in the image.
+  size_t image_bytes() const;
+};
+
+}  // namespace dim::asmblr

@@ -1,0 +1,29 @@
+#include "bt/predictor.hpp"
+
+namespace dim::bt {
+
+void BimodalPredictor::update(uint32_t pc, bool taken) {
+  auto [it, inserted] = counters_.try_emplace(pc, uint8_t{1});
+  uint8_t& c = it->second;
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+}
+
+bool BimodalPredictor::predict(uint32_t pc) const { return counter(pc) >= 2; }
+
+std::optional<bool> BimodalPredictor::saturated_direction(uint32_t pc) const {
+  const uint8_t c = counter(pc);
+  if (c == 0) return false;
+  if (c == 3) return true;
+  return std::nullopt;
+}
+
+uint8_t BimodalPredictor::counter(uint32_t pc) const {
+  auto it = counters_.find(pc);
+  return it == counters_.end() ? uint8_t{1} : it->second;
+}
+
+}  // namespace dim::bt

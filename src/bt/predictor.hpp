@@ -1,0 +1,36 @@
+// Bimodal (2-bit saturating counter) branch predictor, Smith 1981 — the
+// paper's speculation policy: a basic block is merged into a configuration
+// only once the guarding branch's counter is saturated, and a configuration
+// is flushed once the counter reaches the opposite saturation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace dim::bt {
+
+class BimodalPredictor {
+ public:
+  // Counter states: 0 strongly-not-taken .. 3 strongly-taken. New branches
+  // start weakly-not-taken (1).
+  void update(uint32_t pc, bool taken);
+
+  // Predicted direction (>=2 means taken).
+  bool predict(uint32_t pc) const;
+
+  // Direction if the counter is saturated (0 or 3); nullopt otherwise.
+  // Speculation is gated on this ("the counter must achieve the maximum or
+  // minimum value").
+  std::optional<bool> saturated_direction(uint32_t pc) const;
+
+  uint8_t counter(uint32_t pc) const;
+
+  size_t tracked_branches() const { return counters_.size(); }
+  void reset() { counters_.clear(); }
+
+ private:
+  std::unordered_map<uint32_t, uint8_t> counters_;
+};
+
+}  // namespace dim::bt

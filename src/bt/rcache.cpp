@@ -1,0 +1,54 @@
+#include "bt/rcache.hpp"
+
+#include <algorithm>
+
+namespace dim::bt {
+
+rra::Configuration* ReconfigCache::lookup(uint32_t pc) {
+  auto it = entries_.find(pc);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  if (policy_ == Replacement::kLru) {
+    // Refresh recency: move this PC to the back of the order queue.
+    auto pos = std::find(order_.begin(), order_.end(), pc);
+    if (pos != order_.end()) {
+      order_.erase(pos);
+      order_.push_back(pc);
+    }
+  }
+  return it->second.get();
+}
+
+void ReconfigCache::insert(rra::Configuration config) {
+  const uint32_t pc = config.start_pc;
+  words_written_ += static_cast<uint64_t>(config.instruction_count());
+  auto it = entries_.find(pc);
+  if (it != entries_.end()) {
+    // Replacement (e.g. a speculation extension): keep the FIFO position.
+    *it->second = std::move(config);
+    return;
+  }
+  if (slots_ == 0) return;
+  while (entries_.size() >= slots_) {
+    const uint32_t victim = order_.front();
+    order_.pop_front();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)));
+  order_.push_back(pc);
+  ++insertions_;
+}
+
+void ReconfigCache::flush(uint32_t pc) {
+  auto it = entries_.find(pc);
+  if (it == entries_.end()) return;
+  entries_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), pc), order_.end());
+  ++flushes_;
+}
+
+}  // namespace dim::bt

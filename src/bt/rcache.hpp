@@ -1,0 +1,75 @@
+// The reconfiguration cache: FIFO-replaced storage for translated
+// configurations, indexed by the PC of the first translated instruction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "rra/configuration.hpp"
+
+namespace dim::bt {
+
+// Replacement policy. The paper's hardware uses FIFO ("a new entry in the
+// cache (based on FIFO) is created"); LRU is provided for the ablation
+// bench.
+enum class Replacement : uint8_t { kFifo, kLru };
+
+class ReconfigCache {
+ public:
+  explicit ReconfigCache(size_t slots, Replacement policy = Replacement::kFifo)
+      : slots_(slots), policy_(policy) {}
+
+  // Looks up a configuration by start PC; counts a hit/miss. Under LRU a
+  // hit refreshes the entry's position; under FIFO it does not.
+  rra::Configuration* lookup(uint32_t pc);
+
+  // True if `pc` has an entry (no hit/miss accounting) — used by the
+  // translator to avoid re-translating cached sequences.
+  bool contains(uint32_t pc) const { return entries_.count(pc) != 0; }
+
+  // Read-only access with no stats or recency side effects (serialization,
+  // tests).
+  const rra::Configuration* peek(uint32_t pc) const {
+    auto it = entries_.find(pc);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  // Inserts (or replaces) the configuration for its start PC. On overflow
+  // the oldest inserted entry is evicted (FIFO, per the paper).
+  void insert(rra::Configuration config);
+
+  // Removes one configuration (speculation flush).
+  void flush(uint32_t pc);
+
+  size_t size() const { return entries_.size(); }
+  size_t slots() const { return slots_; }
+  Replacement policy() const { return policy_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t insertions() const { return insertions_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t flushes() const { return flushes_; }
+  // Total configuration words written across all insertions/replacements
+  // (one word per translated instruction; feeds the power model).
+  uint64_t words_written() const { return words_written_; }
+
+  // Oldest-first insertion order (exposed for tests of the FIFO policy).
+  const std::deque<uint32_t>& fifo_order() const { return order_; }
+
+ private:
+  size_t slots_;
+  Replacement policy_;
+  std::unordered_map<uint32_t, std::unique_ptr<rra::Configuration>> entries_;
+  std::deque<uint32_t> order_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t words_written_ = 0;
+};
+
+}  // namespace dim::bt

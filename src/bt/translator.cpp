@@ -1,0 +1,294 @@
+#include "bt/translator.hpp"
+
+#include <algorithm>
+
+namespace dim::bt {
+
+using isa::FuKind;
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+// Does this instruction carry an immediate the array must store?
+bool uses_immediate(const Instr& i) {
+  switch (i.op) {
+    case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+    case Op::kAndi: case Op::kOri: case Op::kXori: case Op::kLui:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Instructions the array can host. mfhi/mflo become routing moves of the
+// HI/LO context registers, so they are translatable even though
+// isa::dim_supported (which classifies FU needs) excludes them.
+bool translatable(Op op) {
+  return isa::dim_supported(op) || op == Op::kMfhi || op == Op::kMflo;
+}
+
+FuKind fu_for(const Instr& i, bool is_branch) {
+  if (is_branch) return FuKind::kAlu;  // branches compare on an ALU
+  if (i.op == Op::kMfhi || i.op == Op::kMflo) return FuKind::kAlu;
+  return isa::fu_kind(i.op);
+}
+
+}  // namespace
+
+// --- ConfigBuilder -----------------------------------------------------------
+
+ConfigBuilder::ConfigBuilder(uint32_t start_pc, const TranslatorParams& params)
+    : params_(params), start_pc_(start_pc) {
+  last_writer_row_.fill(-1);
+}
+
+bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
+                          bool predicted_taken) {
+  const FuKind kind = fu_for(instr, is_branch);
+
+  // RAW dependences: the instruction must sit strictly below every producer.
+  int srcs[2];
+  const int nsrc = rra::array_srcs(instr, srcs);
+  int min_row = 0;
+  std::bitset<rra::kNumCtxRegs> new_inputs;
+  for (int k = 0; k < nsrc; ++k) {
+    const int s = srcs[k];
+    if (s == 0) continue;  // $zero
+    const int producer = last_writer_row_[static_cast<size_t>(s)];
+    if (producer >= 0) {
+      min_row = std::max(min_row, producer + 1);
+    } else if (!input_ctx_.test(static_cast<size_t>(s))) {
+      new_inputs.set(static_cast<size_t>(s));
+    }
+  }
+
+  // Memory ordering: no disambiguation hardware — loads may not pass
+  // stores, stores may not pass any memory operation.
+  if (isa::is_load(instr.op)) {
+    min_row = std::max(min_row, last_store_row_ + 1);
+  } else if (isa::is_store(instr.op)) {
+    min_row = std::max(min_row, last_mem_row_ + 1);
+  }
+
+  // Capacity checks that must not mutate state on failure.
+  if ((input_ctx_ | new_inputs).count() >
+      static_cast<size_t>(params_.max_input_regs)) {
+    return false;
+  }
+  int dests[2];
+  const int ndst = rra::array_dests(instr, dests);
+  std::bitset<rra::kNumCtxRegs> new_written = written_;
+  for (int k = 0; k < ndst; ++k) new_written.set(static_cast<size_t>(dests[k]));
+  if (new_written.count() > static_cast<size_t>(params_.max_output_regs)) return false;
+  if (params_.max_immediates > 0 && uses_immediate(instr) &&
+      immediates_ >= params_.max_immediates) {
+    return false;
+  }
+
+  // Resource table: first line >= min_row with a free unit of this group.
+  const int per_line = kind == FuKind::kAlu    ? params_.shape.alus_per_line
+                       : kind == FuKind::kMul  ? params_.shape.muls_per_line
+                                               : params_.shape.ldsts_per_line;
+  if (per_line <= 0) return false;
+  int row = -1;
+  int col = -1;
+  for (int r = min_row; r < params_.shape.lines; ++r) {
+    if (r >= static_cast<int>(rows_.size())) {
+      rows_.resize(static_cast<size_t>(r) + 1);
+    }
+    RowUse& use = rows_[static_cast<size_t>(r)];
+    int& used = kind == FuKind::kAlu ? use.alu : kind == FuKind::kMul ? use.mul : use.ldst;
+    if (used < per_line) {
+      row = r;
+      col = used;
+      ++used;
+      break;
+    }
+  }
+  if (row < 0) return false;
+
+  // Commit all table updates.
+  input_ctx_ |= new_inputs;
+  written_ = new_written;
+  for (int k = 0; k < ndst; ++k) last_writer_row_[static_cast<size_t>(dests[k])] = row;
+  if (isa::is_load(instr.op)) {
+    last_mem_row_ = std::max(last_mem_row_, row);
+  } else if (isa::is_store(instr.op)) {
+    last_mem_row_ = std::max(last_mem_row_, row);
+    last_store_row_ = std::max(last_store_row_, row);
+  }
+  if (uses_immediate(instr)) ++immediates_;
+
+  rra::ArrayOp op;
+  op.instr = instr;
+  op.pc = pc;
+  op.row = row;
+  op.col = col;
+  op.kind = kind;
+  op.bb_index = bb_;
+  op.is_branch = is_branch;
+  op.predicted_taken = predicted_taken;
+  ops_.push_back(op);
+  return true;
+}
+
+bool ConfigBuilder::try_add(const Instr& instr, uint32_t pc) {
+  if (!translatable(instr.op)) return false;
+  // Related-work restrictions (CCA-style arrays; see TranslatorParams).
+  if (!params_.allow_mem && (isa::is_load(instr.op) || isa::is_store(instr.op))) return false;
+  if (!params_.allow_shifts && isa::is_shift(instr.op)) return false;
+  if (!params_.allow_mult &&
+      (instr.op == Op::kMult || instr.op == Op::kMultu || instr.op == Op::kMfhi ||
+       instr.op == Op::kMflo)) {
+    return false;
+  }
+  return place(instr, pc, false, false);
+}
+
+bool ConfigBuilder::try_add_branch(const Instr& instr, uint32_t pc,
+                                   bool predicted_taken) {
+  if (!isa::is_branch(instr.op)) return false;
+  // The and-link variants write $ra unconditionally — the array's branch
+  // slots only evaluate a condition, so those stay on the processor.
+  if (instr.op == Op::kBltzal || instr.op == Op::kBgezal) return false;
+  if (!place(instr, pc, true, predicted_taken)) return false;
+  ++bb_;  // subsequent ops belong to the next (speculative) basic block
+  return true;
+}
+
+bool ConfigBuilder::replay(const rra::Configuration& config) {
+  for (const rra::ArrayOp& op : config.ops) {
+    const bool ok = op.is_branch ? try_add_branch(op.instr, op.pc, op.predicted_taken)
+                                 : try_add(op.instr, op.pc);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+rra::Configuration ConfigBuilder::finalize(uint32_t end_pc) const {
+  rra::Configuration config;
+  config.start_pc = start_pc_;
+  config.end_pc = end_pc;
+  config.ops = ops_;
+  config.num_bbs = bb_ + 1;
+  config.input_regs = static_cast<int>(input_ctx_.count());
+  config.output_regs = static_cast<int>(written_.count());
+  config.immediates = immediates_;
+
+  int rows_used = 0;
+  for (const rra::ArrayOp& op : ops_) rows_used = std::max(rows_used, op.row + 1);
+  config.rows_used = rows_used;
+  config.row_kinds.assign(static_cast<size_t>(rows_used), rra::RowKind::kAlu);
+  for (const rra::ArrayOp& op : ops_) {
+    rra::RowKind& kind = config.row_kinds[static_cast<size_t>(op.row)];
+    if (op.kind == FuKind::kLdSt) {
+      kind = rra::RowKind::kMem;
+    } else if (op.kind == FuKind::kMul && kind == rra::RowKind::kAlu) {
+      kind = rra::RowKind::kMul;
+    }
+  }
+  return config;
+}
+
+// --- Translator --------------------------------------------------------------
+
+Translator::Translator(const TranslatorParams& params, ReconfigCache* cache,
+                       BimodalPredictor* predictor)
+    : params_(params), cache_(cache), predictor_(predictor) {}
+
+void Translator::finalize_capture(uint32_t end_pc) {
+  if (!builder_) return;
+  if (builder_->size() >= params_.min_instructions) {
+    cache_->insert(builder_->finalize(end_pc));
+    ++stats_.configs_inserted;
+    if (extending_) ++stats_.extensions_completed;
+  } else {
+    ++stats_.too_short;
+  }
+  builder_.reset();
+  extending_ = false;
+}
+
+void Translator::abort_capture() {
+  if (builder_) ++stats_.captures_aborted;
+  builder_.reset();
+  extending_ = false;
+}
+
+void Translator::on_array_executed() {
+  abort_capture();
+  // The configuration's resume point behaves like a sequence boundary: the
+  // next branch retirement will re-arm detection (handled by observe()).
+  start_pending_ = false;
+}
+
+bool Translator::begin_extension(const rra::Configuration& config,
+                                 const Instr& branch, uint32_t branch_pc,
+                                 bool predicted_taken) {
+  abort_capture();
+  ConfigBuilder builder(config.start_pc, params_);
+  if (!builder.replay(config) ||
+      !builder.try_add_branch(branch, branch_pc, predicted_taken)) {
+    return false;
+  }
+  builder_ = std::move(builder);
+  extending_ = true;
+  ++stats_.captures_started;
+  return true;
+}
+
+void Translator::observe(const sim::StepInfo& info) {
+  ++stats_.observed_instructions;
+  const Instr& i = info.instr;
+  const bool is_cond_branch = isa::is_branch(i.op);
+  const bool is_flow = is_cond_branch || isa::is_jump(i.op);
+
+  if (builder_) {
+    if (is_cond_branch) {
+      // The current basic block ends here. Merge it and keep going only if
+      // speculation is enabled, depth remains, and this branch's counter is
+      // saturated in the direction actually taken right now (otherwise the
+      // following instructions are not the speculated path).
+      bool merged = false;
+      if (params_.speculation && builder_->num_bbs() <= params_.max_spec_bbs) {
+        const auto dir = predictor_->saturated_direction(info.pc);
+        if (dir.has_value() && *dir == info.taken) {
+          merged = builder_->try_add_branch(i, info.pc, *dir);
+        }
+      }
+      if (!merged) {
+        finalize_capture(info.pc);
+        start_pending_ = true;  // next instruction follows a branch
+      }
+    } else if (!translatable(i.op)) {
+      finalize_capture(info.pc);
+      start_pending_ = is_flow;  // jumps also delimit basic blocks
+    } else if (!builder_->try_add(i, info.pc)) {
+      // Array capacity exhausted: save what fits (this instruction resumes
+      // on the processor).
+      finalize_capture(info.pc);
+      start_pending_ = false;
+    }
+  } else {
+    if (start_pending_ && !is_flow && translatable(i.op) &&
+        !cache_->contains(info.pc) &&
+        (params_.allowed_starts.empty() || params_.allowed_starts.count(info.pc) != 0)) {
+      builder_.emplace(info.pc, params_);
+      ++stats_.captures_started;
+      start_pending_ = false;
+      if (!builder_->try_add(i, info.pc)) abort_capture();
+    } else if (is_flow) {
+      start_pending_ = true;
+    } else if (start_pending_ && cache_->contains(info.pc)) {
+      // Already translated; wait for the next boundary.
+      start_pending_ = false;
+    }
+  }
+
+  if (is_cond_branch) predictor_->update(info.pc, info.taken);
+}
+
+}  // namespace dim::bt

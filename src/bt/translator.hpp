@@ -1,0 +1,156 @@
+// DIM — Dynamic Instruction Merging. The hardware binary translator that
+// watches the retired instruction stream and builds array configurations.
+//
+// Detection (paper §4.2): translation starts at the first instruction after
+// a branch execution and stops at an unsupported instruction or another
+// branch (unless speculating). Sequences longer than 3 instructions are
+// saved to the reconfiguration cache, indexed by start PC.
+//
+// Allocation: for each incoming instruction the source operands are checked
+// against the per-line bitmap of target registers (the dependence table);
+// the instruction is placed in the first line below all of its producers
+// that still has a free functional unit of the right group (the resource
+// table), at the leftmost free column. False dependencies (WAR/WAW) need no
+// serialization: operands are routed from the producing line's bus position,
+// and only the last write of each register leaves the array.
+//
+// Speculation: once the bimodal counter of the terminating branch is
+// saturated, the following basic block is merged into the configuration
+// (up to `max_spec_bbs` levels deep).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "bt/predictor.hpp"
+#include "bt/rcache.hpp"
+#include "isa/instruction.hpp"
+#include "rra/array_shape.hpp"
+#include "rra/configuration.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::bt {
+
+struct TranslatorParams {
+  rra::ArrayShape shape = rra::ArrayShape::config1();
+  bool speculation = true;
+  int max_spec_bbs = 3;      // speculative basic blocks beyond the first
+  int min_instructions = 4;  // "more than three instructions"
+  int max_input_regs = rra::kNumCtxRegs;
+  int max_output_regs = rra::kNumCtxRegs;
+  int max_immediates = 0;  // 0 = unlimited
+
+  // Related-work emulation knobs (paper §2.2). The CCA of Clark et al.
+  // "does not support memory operations or shifts, limiting its field of
+  // application and, as a consequence, it supports only a limited number
+  // of inputs and outputs" — model that by disallowing those operations.
+  bool allow_mem = true;
+  bool allow_shifts = true;
+  bool allow_mult = true;
+
+  // Warp-processing-style kernel-only optimization: when non-empty, only
+  // sequences starting at these PCs (the profiled hot spots) are
+  // translated — everything else stays on the processor.
+  std::unordered_set<uint32_t> allowed_starts;
+};
+
+// The DIM detection-phase tables for one in-flight translation.
+class ConfigBuilder {
+ public:
+  ConfigBuilder(uint32_t start_pc, const TranslatorParams& params);
+
+  // Attempts to place a (supported, non-branch) instruction. Returns false
+  // when a capacity limit is hit; the builder is left unchanged.
+  bool try_add(const isa::Instr& instr, uint32_t pc);
+
+  // Attempts to place a conditional branch and open the next (speculative)
+  // basic block behind it.
+  bool try_add_branch(const isa::Instr& instr, uint32_t pc, bool predicted_taken);
+
+  // Replays an existing configuration into this builder (used to extend a
+  // cached configuration with a further basic block). Returns false if the
+  // replay does not fit (it always should, for the shape it was built for).
+  bool replay(const rra::Configuration& config);
+
+  rra::Configuration finalize(uint32_t end_pc) const;
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  int num_bbs() const { return bb_ + 1; }
+  uint32_t start_pc() const { return start_pc_; }
+
+ private:
+  struct RowUse {
+    int alu = 0;
+    int mul = 0;
+    int ldst = 0;
+  };
+
+  // Core placement routine shared by try_add / try_add_branch.
+  bool place(const isa::Instr& instr, uint32_t pc, bool is_branch, bool predicted_taken);
+
+  TranslatorParams params_;
+  uint32_t start_pc_;
+  std::vector<rra::ArrayOp> ops_;
+  std::vector<RowUse> rows_;
+  // Dependence table: last line writing each context register (-1 = none).
+  std::array<int, rra::kNumCtxRegs> last_writer_row_;
+  std::bitset<rra::kNumCtxRegs> input_ctx_;  // reads table (input context)
+  std::bitset<rra::kNumCtxRegs> written_;    // writes table
+  int last_mem_row_ = -1;
+  int last_store_row_ = -1;
+  int bb_ = 0;
+  int immediates_ = 0;
+};
+
+struct TranslatorStats {
+  uint64_t captures_started = 0;
+  uint64_t configs_inserted = 0;
+  uint64_t captures_aborted = 0;    // capacity / stream discontinuity
+  uint64_t too_short = 0;           // sequence did not exceed 3 instructions
+  uint64_t extensions_completed = 0;
+  uint64_t observed_instructions = 0;
+};
+
+// The detection engine. Consumes the retired stream of the processor and
+// fills the reconfiguration cache. Runs "in parallel": it costs no cycles.
+class Translator {
+ public:
+  Translator(const TranslatorParams& params, ReconfigCache* cache,
+             BimodalPredictor* predictor);
+
+  // Observes one normally-retired instruction.
+  void observe(const sim::StepInfo& info);
+
+  // The array executed a configuration: the observed stream is
+  // discontinuous, so any in-flight capture is dropped.
+  void on_array_executed();
+
+  // Starts extending `config` by one basic block: `branch` (at end_pc) was
+  // just retired with outcome == predicted_taken and a saturated counter.
+  // Returns false if the existing ops + branch do not fit.
+  bool begin_extension(const rra::Configuration& config, const isa::Instr& branch,
+                       uint32_t branch_pc, bool predicted_taken);
+
+  bool extending() const { return extending_; }
+  bool capturing() const { return builder_.has_value(); }
+  const TranslatorStats& stats() const { return stats_; }
+  const TranslatorParams& params() const { return params_; }
+
+ private:
+  void finalize_capture(uint32_t end_pc);
+  void abort_capture();
+
+  TranslatorParams params_;
+  ReconfigCache* cache_;
+  BimodalPredictor* predictor_;
+  std::optional<ConfigBuilder> builder_;
+  bool start_pending_ = true;  // program entry starts a sequence
+  bool extending_ = false;
+  TranslatorStats stats_;
+};
+
+}  // namespace dim::bt

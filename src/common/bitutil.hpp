@@ -1,0 +1,29 @@
+// Small bit-manipulation helpers shared by the ISA, assembler and simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dim {
+
+// Extracts bits [lo, lo+len) of `word`.
+constexpr uint32_t bits(uint32_t word, unsigned lo, unsigned len) {
+  return (word >> lo) & ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u));
+}
+
+// Sign-extends the low `len` bits of `value` to 32 bits.
+constexpr int32_t sign_extend(uint32_t value, unsigned len) {
+  const uint32_t mask = 1u << (len - 1);
+  const uint32_t low = value & ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u));
+  return static_cast<int32_t>((low ^ mask) - mask);
+}
+
+// True if `value` fits in a signed 16-bit immediate.
+constexpr bool fits_simm16(int64_t value) { return value >= -32768 && value <= 32767; }
+
+// True if `value` fits in an unsigned 16-bit immediate.
+constexpr bool fits_uimm16(int64_t value) { return value >= 0 && value <= 65535; }
+
+// Integer ceiling division for non-negative operands.
+constexpr int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace dim

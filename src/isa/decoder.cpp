@@ -1,0 +1,102 @@
+#include "isa/decoder.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace dim::isa {
+namespace {
+
+Op decode_special(uint32_t funct) {
+  switch (funct) {
+    case 0x00: return Op::kSll;
+    case 0x02: return Op::kSrl;
+    case 0x03: return Op::kSra;
+    case 0x04: return Op::kSllv;
+    case 0x06: return Op::kSrlv;
+    case 0x07: return Op::kSrav;
+    case 0x08: return Op::kJr;
+    case 0x09: return Op::kJalr;
+    case 0x0C: return Op::kSyscall;
+    case 0x0D: return Op::kBreak;
+    case 0x10: return Op::kMfhi;
+    case 0x11: return Op::kMthi;
+    case 0x12: return Op::kMflo;
+    case 0x13: return Op::kMtlo;
+    case 0x18: return Op::kMult;
+    case 0x19: return Op::kMultu;
+    case 0x1A: return Op::kDiv;
+    case 0x1B: return Op::kDivu;
+    case 0x20: return Op::kAdd;
+    case 0x21: return Op::kAddu;
+    case 0x22: return Op::kSub;
+    case 0x23: return Op::kSubu;
+    case 0x24: return Op::kAnd;
+    case 0x25: return Op::kOr;
+    case 0x26: return Op::kXor;
+    case 0x27: return Op::kNor;
+    case 0x2A: return Op::kSlt;
+    case 0x2B: return Op::kSltu;
+    default: return Op::kInvalid;
+  }
+}
+
+Op decode_regimm(uint32_t rt) {
+  switch (rt) {
+    case 0x00: return Op::kBltz;
+    case 0x01: return Op::kBgez;
+    case 0x10: return Op::kBltzal;
+    case 0x11: return Op::kBgezal;
+    default: return Op::kInvalid;
+  }
+}
+
+Op decode_opcode(uint32_t opcode) {
+  switch (opcode) {
+    case 0x02: return Op::kJ;
+    case 0x03: return Op::kJal;
+    case 0x04: return Op::kBeq;
+    case 0x05: return Op::kBne;
+    case 0x06: return Op::kBlez;
+    case 0x07: return Op::kBgtz;
+    case 0x08: return Op::kAddi;
+    case 0x09: return Op::kAddiu;
+    case 0x0A: return Op::kSlti;
+    case 0x0B: return Op::kSltiu;
+    case 0x0C: return Op::kAndi;
+    case 0x0D: return Op::kOri;
+    case 0x0E: return Op::kXori;
+    case 0x0F: return Op::kLui;
+    case 0x20: return Op::kLb;
+    case 0x21: return Op::kLh;
+    case 0x23: return Op::kLw;
+    case 0x24: return Op::kLbu;
+    case 0x25: return Op::kLhu;
+    case 0x28: return Op::kSb;
+    case 0x29: return Op::kSh;
+    case 0x2B: return Op::kSw;
+    default: return Op::kInvalid;
+  }
+}
+
+}  // namespace
+
+Instr decode(uint32_t word) {
+  Instr i;
+  const uint32_t opcode = bits(word, 26, 6);
+  i.rs = static_cast<uint8_t>(bits(word, 21, 5));
+  i.rt = static_cast<uint8_t>(bits(word, 16, 5));
+  i.rd = static_cast<uint8_t>(bits(word, 11, 5));
+  i.shamt = static_cast<uint8_t>(bits(word, 6, 5));
+  i.imm16 = static_cast<uint16_t>(bits(word, 0, 16));
+  i.target26 = bits(word, 0, 26);
+
+  if (opcode == 0x00) {
+    i.op = decode_special(bits(word, 0, 6));
+  } else if (opcode == 0x01) {
+    i.op = decode_regimm(i.rt);
+  } else {
+    i.op = decode_opcode(opcode);
+  }
+  return i;
+}
+
+}  // namespace dim::isa

@@ -1,0 +1,13 @@
+// Decoding of raw 32-bit MIPS I words into `Instr`.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace dim::isa {
+
+// Decodes one instruction word. Unknown encodings yield Op::kInvalid.
+Instr decode(uint32_t word);
+
+}  // namespace dim::isa

@@ -1,0 +1,69 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/registers.hpp"
+
+namespace dim::isa {
+namespace {
+
+std::string hex32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+uint32_t branch_target(const Instr& i, uint32_t pc) {
+  return pc + 4 + (static_cast<uint32_t>(i.simm()) << 2);
+}
+
+}  // namespace
+
+std::string disasm(const Instr& i, uint32_t pc) {
+  using std::string;
+  const string name = op_name(i.op);
+  const string rs = reg_name(i.rs), rt = reg_name(i.rt), rd = reg_name(i.rd);
+  switch (i.op) {
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+      return name + " " + rd + ", " + rt + ", " + std::to_string(i.shamt);
+    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
+      return name + " " + rd + ", " + rt + ", " + rs;
+    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlt: case Op::kSltu:
+      return name + " " + rd + ", " + rs + ", " + rt;
+    case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
+      return name + " " + rs + ", " + rt;
+    case Op::kMfhi: case Op::kMflo:
+      return name + " " + rd;
+    case Op::kMthi: case Op::kMtlo:
+      return name + " " + rs;
+    case Op::kJr:
+      return name + " " + rs;
+    case Op::kJalr:
+      return name + " " + rd + ", " + rs;
+    case Op::kJ: case Op::kJal:
+      return name + " " + hex32(((pc + 4) & 0xF0000000u) | (i.target26 << 2));
+    case Op::kSyscall: case Op::kBreak:
+      return name;
+    case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+      return name + " " + rt + ", " + rs + ", " + std::to_string(i.simm());
+    case Op::kAndi: case Op::kOri: case Op::kXori:
+      return name + " " + rt + ", " + rs + ", " + hex32(i.uimm());
+    case Op::kLui:
+      return name + " " + rt + ", " + hex32(i.uimm());
+    case Op::kBeq: case Op::kBne:
+      return name + " " + rs + ", " + rt + ", " + hex32(branch_target(i, pc));
+    case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+    case Op::kBltzal: case Op::kBgezal:
+      return name + " " + rs + ", " + hex32(branch_target(i, pc));
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      return name + " " + rt + ", " + std::to_string(i.simm()) + "(" + rs + ")";
+    case Op::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+}  // namespace dim::isa

@@ -1,0 +1,15 @@
+// Human-readable disassembly, mainly for debugging and error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace dim::isa {
+
+// Disassembles `i` that resides at address `pc` (needed to print branch and
+// jump targets as absolute addresses).
+std::string disasm(const Instr& i, uint32_t pc);
+
+}  // namespace dim::isa

@@ -1,0 +1,94 @@
+#include "isa/encoder.hpp"
+
+namespace dim::isa {
+namespace {
+
+struct Encoding {
+  uint32_t opcode;
+  uint32_t funct;   // SPECIAL funct, or REGIMM rt field
+  enum class Form { kR, kRegimm, kI, kJ } form;
+};
+
+Encoding encoding_of(Op op) {
+  using F = Encoding::Form;
+  switch (op) {
+    case Op::kSll: return {0, 0x00, F::kR};
+    case Op::kSrl: return {0, 0x02, F::kR};
+    case Op::kSra: return {0, 0x03, F::kR};
+    case Op::kSllv: return {0, 0x04, F::kR};
+    case Op::kSrlv: return {0, 0x06, F::kR};
+    case Op::kSrav: return {0, 0x07, F::kR};
+    case Op::kJr: return {0, 0x08, F::kR};
+    case Op::kJalr: return {0, 0x09, F::kR};
+    case Op::kSyscall: return {0, 0x0C, F::kR};
+    case Op::kBreak: return {0, 0x0D, F::kR};
+    case Op::kMfhi: return {0, 0x10, F::kR};
+    case Op::kMthi: return {0, 0x11, F::kR};
+    case Op::kMflo: return {0, 0x12, F::kR};
+    case Op::kMtlo: return {0, 0x13, F::kR};
+    case Op::kMult: return {0, 0x18, F::kR};
+    case Op::kMultu: return {0, 0x19, F::kR};
+    case Op::kDiv: return {0, 0x1A, F::kR};
+    case Op::kDivu: return {0, 0x1B, F::kR};
+    case Op::kAdd: return {0, 0x20, F::kR};
+    case Op::kAddu: return {0, 0x21, F::kR};
+    case Op::kSub: return {0, 0x22, F::kR};
+    case Op::kSubu: return {0, 0x23, F::kR};
+    case Op::kAnd: return {0, 0x24, F::kR};
+    case Op::kOr: return {0, 0x25, F::kR};
+    case Op::kXor: return {0, 0x26, F::kR};
+    case Op::kNor: return {0, 0x27, F::kR};
+    case Op::kSlt: return {0, 0x2A, F::kR};
+    case Op::kSltu: return {0, 0x2B, F::kR};
+    case Op::kBltz: return {1, 0x00, F::kRegimm};
+    case Op::kBgez: return {1, 0x01, F::kRegimm};
+    case Op::kBltzal: return {1, 0x10, F::kRegimm};
+    case Op::kBgezal: return {1, 0x11, F::kRegimm};
+    case Op::kJ: return {0x02, 0, F::kJ};
+    case Op::kJal: return {0x03, 0, F::kJ};
+    case Op::kBeq: return {0x04, 0, F::kI};
+    case Op::kBne: return {0x05, 0, F::kI};
+    case Op::kBlez: return {0x06, 0, F::kI};
+    case Op::kBgtz: return {0x07, 0, F::kI};
+    case Op::kAddi: return {0x08, 0, F::kI};
+    case Op::kAddiu: return {0x09, 0, F::kI};
+    case Op::kSlti: return {0x0A, 0, F::kI};
+    case Op::kSltiu: return {0x0B, 0, F::kI};
+    case Op::kAndi: return {0x0C, 0, F::kI};
+    case Op::kOri: return {0x0D, 0, F::kI};
+    case Op::kXori: return {0x0E, 0, F::kI};
+    case Op::kLui: return {0x0F, 0, F::kI};
+    case Op::kLb: return {0x20, 0, F::kI};
+    case Op::kLh: return {0x21, 0, F::kI};
+    case Op::kLw: return {0x23, 0, F::kI};
+    case Op::kLbu: return {0x24, 0, F::kI};
+    case Op::kLhu: return {0x25, 0, F::kI};
+    case Op::kSb: return {0x28, 0, F::kI};
+    case Op::kSh: return {0x29, 0, F::kI};
+    case Op::kSw: return {0x2B, 0, F::kI};
+    case Op::kInvalid: return {0x3F, 0x3F, F::kI};
+  }
+  return {0x3F, 0x3F, Encoding::Form::kI};
+}
+
+}  // namespace
+
+uint32_t encode(const Instr& i) {
+  const Encoding e = encoding_of(i.op);
+  using F = Encoding::Form;
+  switch (e.form) {
+    case F::kR:
+      return (0u << 26) | (uint32_t{i.rs} << 21) | (uint32_t{i.rt} << 16) |
+             (uint32_t{i.rd} << 11) | (uint32_t{i.shamt} << 6) | e.funct;
+    case F::kRegimm:
+      return (1u << 26) | (uint32_t{i.rs} << 21) | (e.funct << 16) | i.imm16;
+    case F::kI:
+      return (e.opcode << 26) | (uint32_t{i.rs} << 21) | (uint32_t{i.rt} << 16) |
+             i.imm16;
+    case F::kJ:
+      return (e.opcode << 26) | (i.target26 & 0x03FFFFFFu);
+  }
+  return 0;
+}
+
+}  // namespace dim::isa

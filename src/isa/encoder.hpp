@@ -1,0 +1,14 @@
+// Encoding of `Instr` back into raw 32-bit MIPS I words.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace dim::isa {
+
+// Encodes a decoded instruction. encode(decode(w)) == w for all valid words
+// (modulo don't-care fields, which are encoded as zero).
+uint32_t encode(const Instr& i);
+
+}  // namespace dim::isa

@@ -1,0 +1,78 @@
+// MIPS I (R3000) integer instruction set: operations, decoded form and
+// classification predicates used by the simulator and the DIM translator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dim::isa {
+
+enum class Op : uint8_t {
+  kInvalid = 0,
+  // R-type arithmetic / logic
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  kAdd, kAddu, kSub, kSubu,
+  kAnd, kOr, kXor, kNor,
+  kSlt, kSltu,
+  // HI/LO
+  kMult, kMultu, kDiv, kDivu,
+  kMfhi, kMthi, kMflo, kMtlo,
+  // Jumps
+  kJr, kJalr, kJ, kJal,
+  // Traps
+  kSyscall, kBreak,
+  // I-type arithmetic / logic
+  kAddi, kAddiu, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+  // Branches
+  kBeq, kBne, kBlez, kBgtz, kBltz, kBgez, kBltzal, kBgezal,
+  // Memory
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+};
+
+// Decoded instruction. `imm16` is kept raw (16 bits); use simm()/uimm()
+// according to the operation's semantics.
+struct Instr {
+  Op op = Op::kInvalid;
+  uint8_t rs = 0;
+  uint8_t rt = 0;
+  uint8_t rd = 0;
+  uint8_t shamt = 0;
+  uint16_t imm16 = 0;
+  uint32_t target26 = 0;  // J-type target field
+
+  int32_t simm() const { return static_cast<int16_t>(imm16); }
+  uint32_t uimm() const { return imm16; }
+};
+
+const char* op_name(Op op);
+
+// --- Classification ---------------------------------------------------------
+
+bool is_branch(Op op);       // conditional branches (beq..bgezal)
+bool is_jump(Op op);         // j, jal, jr, jalr
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_mult_div(Op op);     // mult/multu/div/divu (write HI/LO)
+bool is_hilo_read(Op op);    // mfhi/mflo
+bool is_shift(Op op);
+
+// Kind of array functional unit an instruction needs.
+enum class FuKind : uint8_t { kAlu, kMul, kLdSt, kNone };
+FuKind fu_kind(Op op);
+
+// True if the DIM engine can translate this instruction onto the array.
+// Per the paper: ALU ops, shifts, multiplies and loads/stores are supported;
+// divisions, jumps, HI/LO moves and traps are not. Conditional branches are
+// supported only as speculation points (they terminate a basic block).
+bool dim_supported(Op op);
+
+// Destination general register written by this instruction, or -1 if none.
+// (jal/jalr/bltzal/bgezal write $ra / rd.)
+int dest_reg(const Instr& i);
+
+// Source general registers read by this instruction. Fills up to 2 entries,
+// returns the count. $zero sources are still reported (reads of $0 are free
+// but harmless to track).
+int src_regs(const Instr& i, int out[2]);
+
+}  // namespace dim::isa

@@ -1,0 +1,44 @@
+#include "isa/registers.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace dim::isa {
+namespace {
+
+constexpr std::array<const char*, 32> kAbiNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+}  // namespace
+
+std::string reg_name(int index) {
+  if (index < 0 || index > 31) return "$?";
+  return std::string("$") + kAbiNames[static_cast<size_t>(index)];
+}
+
+std::optional<int> parse_reg(std::string_view text) {
+  if (text.empty() || text[0] != '$') return std::nullopt;
+  const std::string_view body = text.substr(1);
+  if (body.empty()) return std::nullopt;
+  // Numeric form: $0 .. $31
+  if (body[0] >= '0' && body[0] <= '9') {
+    int value = 0;
+    for (char c : body) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + (c - '0');
+    }
+    if (value > 31) return std::nullopt;
+    return value;
+  }
+  for (int i = 0; i < 32; ++i) {
+    if (body == kAbiNames[static_cast<size_t>(i)]) return i;
+  }
+  // Alternate name for $fp.
+  if (body == "s8") return 30;
+  return std::nullopt;
+}
+
+}  // namespace dim::isa

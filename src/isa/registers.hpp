@@ -1,0 +1,22 @@
+// Register naming for the assembler and disassembler.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dim::isa {
+
+// Canonical ABI name of register `index` (0..31), e.g. "$t0".
+std::string reg_name(int index);
+
+// Parses "$t0", "$8", "$zero", ... Returns nullopt if not a register name.
+std::optional<int> parse_reg(std::string_view text);
+
+// Convenient ABI indices.
+inline constexpr int kZero = 0, kAt = 1, kV0 = 2, kV1 = 3;
+inline constexpr int kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7;
+inline constexpr int kT0 = 8, kS0 = 16, kT8 = 24, kT9 = 25;
+inline constexpr int kGp = 28, kSp = 29, kFp = 30, kRa = 31;
+
+}  // namespace dim::isa

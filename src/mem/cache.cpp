@@ -1,0 +1,43 @@
+#include "mem/cache.hpp"
+
+namespace dim::mem {
+namespace {
+
+uint32_t log2_floor(uint32_t v) {
+  uint32_t r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheParams& params) : params_(params) {
+  num_lines_ = params_.size_bytes / params_.line_bytes;
+  if (num_lines_ == 0) num_lines_ = 1;
+  line_shift_ = log2_floor(params_.line_bytes);
+  tags_.assign(num_lines_, 0);
+}
+
+uint32_t Cache::access(uint32_t addr) {
+  if (!params_.enabled) return 0;
+  const uint32_t line = (addr >> line_shift_) % num_lines_;
+  const uint64_t tag = (static_cast<uint64_t>(addr) >> line_shift_) / num_lines_ + 1;
+  if (tags_[line] == tag) {
+    ++hits_;
+    return 0;
+  }
+  tags_[line] = tag;
+  ++misses_;
+  return params_.miss_penalty;
+}
+
+void Cache::reset() {
+  tags_.assign(num_lines_, 0);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dim::mem

@@ -1,0 +1,43 @@
+// Timing-only cache model (direct-mapped). The functional simulator always
+// reads/writes the backing Memory; this model just decides hit/miss so the
+// pipeline can charge stall cycles, mirroring how the paper charges load
+// latency ("the operations that depend on the result of a load are allocated
+// considering a cache hit as the total load delay ... if a miss occurs, the
+// whole array operation stops until the miss is resolved").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dim::mem {
+
+struct CacheParams {
+  uint32_t size_bytes = 8 * 1024;
+  uint32_t line_bytes = 32;
+  uint32_t miss_penalty = 20;  // extra cycles on a miss
+  bool enabled = false;        // default: perfect memory (paper baseline)
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheParams& params);
+
+  // Touches `addr`; returns the extra stall cycles (0 on hit or if disabled).
+  uint32_t access(uint32_t addr);
+
+  void reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  const CacheParams& params() const { return params_; }
+
+ private:
+  CacheParams params_;
+  uint32_t num_lines_ = 0;
+  uint32_t line_shift_ = 0;
+  std::vector<uint64_t> tags_;  // tag+1, 0 == invalid
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dim::mem

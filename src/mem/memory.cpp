@@ -1,0 +1,94 @@
+#include "mem/memory.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dim::mem {
+
+Memory::Page& Memory::page_for(uint32_t addr) {
+  const uint32_t key = addr >> kPageBits;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    it = pages_.emplace(key, Page(kPageSize, 0)).first;
+  }
+  return it->second;
+}
+
+const Memory::Page* Memory::find_page(uint32_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+uint8_t Memory::read8(uint32_t addr) const {
+  const Page* p = find_page(addr);
+  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+uint16_t Memory::read16(uint32_t addr) const {
+  return static_cast<uint16_t>(read8(addr) | (read8(addr + 1) << 8));
+}
+
+uint32_t Memory::read32(uint32_t addr) const {
+  // Fast path: whole word within one page.
+  const Page* p = find_page(addr);
+  const uint32_t off = addr & (kPageSize - 1);
+  if (p && off + 4 <= kPageSize) {
+    return static_cast<uint32_t>((*p)[off]) |
+           (static_cast<uint32_t>((*p)[off + 1]) << 8) |
+           (static_cast<uint32_t>((*p)[off + 2]) << 16) |
+           (static_cast<uint32_t>((*p)[off + 3]) << 24);
+  }
+  return static_cast<uint32_t>(read16(addr)) | (static_cast<uint32_t>(read16(addr + 2)) << 16);
+}
+
+void Memory::write8(uint32_t addr, uint8_t value) {
+  page_for(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void Memory::write16(uint32_t addr, uint16_t value) {
+  write8(addr, static_cast<uint8_t>(value));
+  write8(addr + 1, static_cast<uint8_t>(value >> 8));
+}
+
+void Memory::write32(uint32_t addr, uint32_t value) {
+  Page& p = page_for(addr);
+  const uint32_t off = addr & (kPageSize - 1);
+  if (off + 4 <= kPageSize) {
+    p[off] = static_cast<uint8_t>(value);
+    p[off + 1] = static_cast<uint8_t>(value >> 8);
+    p[off + 2] = static_cast<uint8_t>(value >> 16);
+    p[off + 3] = static_cast<uint8_t>(value >> 24);
+    return;
+  }
+  write16(addr, static_cast<uint16_t>(value));
+  write16(addr + 2, static_cast<uint16_t>(value >> 16));
+}
+
+void Memory::write_block(uint32_t addr, const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) write8(addr + static_cast<uint32_t>(i), data[i]);
+}
+
+std::vector<uint8_t> Memory::read_block(uint32_t addr, size_t size) const {
+  std::vector<uint8_t> out(size);
+  for (size_t i = 0; i < size; ++i) out[i] = read8(addr + static_cast<uint32_t>(i));
+  return out;
+}
+
+uint64_t Memory::content_hash() const {
+  // Order-independent over pages: iterate keys sorted so the hash is stable
+  // regardless of unordered_map iteration order.
+  std::map<uint32_t, const Page*> ordered;
+  for (const auto& [key, page] : pages_) ordered.emplace(key, &page);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& [key, page] : ordered) {
+    h ^= key;
+    h *= 0x100000001b3ull;
+    for (uint8_t b : *page) {
+      h ^= b;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace dim::mem

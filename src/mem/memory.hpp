@@ -1,0 +1,46 @@
+// Sparse byte-addressable memory used both as instruction and data storage.
+// Little-endian (MIPS is bi-endian; the Minimips the paper uses is
+// configured little-endian, and all our workloads are written against that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace dim::mem {
+
+class Memory {
+ public:
+  static constexpr uint32_t kPageBits = 16;  // 64 KiB pages
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+  uint8_t read8(uint32_t addr) const;
+  uint16_t read16(uint32_t addr) const;
+  uint32_t read32(uint32_t addr) const;
+
+  void write8(uint32_t addr, uint8_t value);
+  void write16(uint32_t addr, uint16_t value);
+  void write32(uint32_t addr, uint32_t value);
+
+  // Bulk helpers for loaders and tests.
+  void write_block(uint32_t addr, const uint8_t* data, size_t size);
+  std::vector<uint8_t> read_block(uint32_t addr, size_t size) const;
+
+  // Number of distinct pages touched (used by tests and stats).
+  size_t pages_allocated() const { return pages_.size(); }
+
+  // Content hash over all allocated pages — used by the transparency
+  // property tests to compare baseline vs accelerated final memory state.
+  uint64_t content_hash() const;
+
+ private:
+  using Page = std::vector<uint8_t>;
+
+  Page& page_for(uint32_t addr);
+  const Page* find_page(uint32_t addr) const;
+
+  std::unordered_map<uint32_t, Page> pages_;
+};
+
+}  // namespace dim::mem

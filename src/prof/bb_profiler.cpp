@@ -1,0 +1,76 @@
+#include "prof/bb_profiler.hpp"
+
+#include <algorithm>
+
+#include "isa/instruction.hpp"
+
+namespace dim::prof {
+
+void BbProfiler::observe(const sim::StepInfo& info) {
+  if (!in_block_) {
+    current_start_ = info.pc;
+    current_len_ = 0;
+    in_block_ = true;
+  }
+  ++current_len_;
+  ++total_instructions_;
+
+  const bool is_branch = isa::is_branch(info.instr.op);
+  const bool is_jump = isa::is_jump(info.instr.op);
+  if (is_branch) ++cond_branches_;
+  if (is_branch || is_jump) ++control_transfers_;
+
+  if (is_branch || is_jump || info.halted) {
+    BlockInfo& block = blocks_[current_start_];
+    block.start_pc = current_start_;
+    ++block.executions;
+    block.instructions += current_len_;
+    in_block_ = false;
+  }
+}
+
+double BbProfiler::instructions_per_branch() const {
+  return cond_branches_ == 0
+             ? static_cast<double>(total_instructions_)
+             : static_cast<double>(total_instructions_) / static_cast<double>(cond_branches_);
+}
+
+double BbProfiler::average_block_length() const {
+  uint64_t executions = 0;
+  uint64_t instructions = 0;
+  for (const auto& [pc, block] : blocks_) {
+    executions += block.executions;
+    instructions += block.instructions;
+  }
+  return executions == 0 ? 0.0
+                         : static_cast<double>(instructions) / static_cast<double>(executions);
+}
+
+std::vector<BbProfiler::BlockInfo> BbProfiler::blocks_by_weight() const {
+  std::vector<BlockInfo> out;
+  out.reserve(blocks_.size());
+  for (const auto& [pc, block] : blocks_) out.push_back(block);
+  std::sort(out.begin(), out.end(), [](const BlockInfo& a, const BlockInfo& b) {
+    if (a.instructions != b.instructions) return a.instructions > b.instructions;
+    return a.start_pc < b.start_pc;  // deterministic tie-break
+  });
+  return out;
+}
+
+int BbProfiler::blocks_to_cover(double fraction) const {
+  const auto sorted = blocks_by_weight();
+  uint64_t total = 0;
+  for (const BlockInfo& b : sorted) total += b.instructions;
+  if (total == 0) return 0;
+  const double target = fraction * static_cast<double>(total);
+  double acc = 0;
+  int count = 0;
+  for (const BlockInfo& b : sorted) {
+    acc += static_cast<double>(b.instructions);
+    ++count;
+    if (acc >= target) return count;
+  }
+  return count;
+}
+
+}  // namespace dim::prof

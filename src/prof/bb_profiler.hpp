@@ -1,0 +1,54 @@
+// Dynamic basic-block profiler — produces the workload characterization of
+// the paper's Figure 3: instructions per branch (3b) and how many distinct
+// basic blocks cover a given fraction of execution time (3a).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cpu_state.hpp"
+
+namespace dim::prof {
+
+class BbProfiler {
+ public:
+  // Feed every retired instruction (use as the Machine::run observer).
+  void observe(const sim::StepInfo& info);
+
+  struct BlockInfo {
+    uint32_t start_pc = 0;
+    uint64_t executions = 0;
+    uint64_t instructions = 0;  // dynamic instruction count attributed
+  };
+
+  // Dynamic instructions per conditional branch (Figure 3b).
+  double instructions_per_branch() const;
+
+  // Average dynamic basic-block length in instructions.
+  double average_block_length() const;
+
+  // Blocks sorted by descending contribution to execution time
+  // (instruction count as the proxy the paper uses).
+  std::vector<BlockInfo> blocks_by_weight() const;
+
+  // Minimum number of distinct blocks whose summed contribution reaches
+  // `fraction` (0..1] of all dynamic instructions (Figure 3a).
+  int blocks_to_cover(double fraction) const;
+
+  uint64_t total_instructions() const { return total_instructions_; }
+  uint64_t conditional_branches() const { return cond_branches_; }
+  uint64_t control_transfers() const { return control_transfers_; }
+  size_t distinct_blocks() const { return blocks_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, BlockInfo> blocks_;
+  uint32_t current_start_ = 0;
+  uint64_t current_len_ = 0;
+  bool in_block_ = false;
+  uint64_t total_instructions_ = 0;
+  uint64_t cond_branches_ = 0;
+  uint64_t control_transfers_ = 0;
+};
+
+}  // namespace dim::prof

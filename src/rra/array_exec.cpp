@@ -1,0 +1,170 @@
+#include "rra/array_exec.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitutil.hpp"
+#include "sim/executor.hpp"
+
+namespace dim::rra {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+// Byte-granular store buffer: speculative stores stay here until commit,
+// and younger loads see them (store-to-load forwarding).
+class StoreBuffer {
+ public:
+  void store(uint32_t addr, int width, uint32_t value) {
+    entries_.push_back(Entry{addr, value, width});
+  }
+
+  // Reads one byte through the buffer, falling back to memory.
+  uint8_t load_byte(uint32_t addr, const mem::Memory& memory) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (addr >= it->addr && addr < it->addr + static_cast<uint32_t>(it->width)) {
+        const uint32_t shift = (addr - it->addr) * 8;
+        return static_cast<uint8_t>(it->value >> shift);
+      }
+    }
+    return memory.read8(addr);
+  }
+
+  uint32_t load(uint32_t addr, int width, const mem::Memory& memory) const {
+    uint32_t value = 0;
+    for (int b = 0; b < width; ++b) {
+      value |= static_cast<uint32_t>(load_byte(addr + static_cast<uint32_t>(b), memory)) << (8 * b);
+    }
+    return value;
+  }
+
+  void drain_to(mem::Memory& memory) const {
+    for (const Entry& e : entries_) {
+      switch (e.width) {
+        case 1: memory.write8(e.addr, static_cast<uint8_t>(e.value)); break;
+        case 2: memory.write16(e.addr, static_cast<uint16_t>(e.value)); break;
+        default: memory.write32(e.addr, e.value); break;
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    uint32_t addr;
+    uint32_t value;
+    int width;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+ArrayExecOutcome execute_configuration(const Configuration& config,
+                                       sim::CpuState& state, mem::Memory& memory,
+                                       mem::Cache* dcache,
+                                       const ArrayTimingParams& timing) {
+  ArrayExecOutcome out;
+  out.reconfig_stall_cycles = reconfig_stall_cycles(config, timing);
+
+  // Context: 32 GPRs + HI + LO, loaded from the register bank.
+  std::array<uint32_t, kNumCtxRegs> ctx{};
+  std::copy(state.regs.begin(), state.regs.end(), ctx.begin());
+  ctx[kCtxHi] = state.hi;
+  ctx[kCtxLo] = state.lo;
+
+  StoreBuffer store_buffer;
+  int last_row = -1;
+  uint32_t next_pc = config.end_pc;
+  int committed_bbs = config.num_bbs;
+
+  for (const ArrayOp& op : config.ops) {
+    const Instr& i = op.instr;
+    const uint32_t rs = ctx[i.rs];
+    const uint32_t rt = ctx[i.rt];
+    last_row = std::max(last_row, op.row);
+    ++out.committed_ops;
+
+    if (op.is_branch) {
+      ++out.alu_ops;
+      const bool taken = sim::branch_taken(i, rs, rt);
+      const bool matched = (taken == op.predicted_taken);
+      out.branch_outcomes.push_back(BranchOutcome{op.pc, taken, matched});
+      if (!matched) {
+        out.misspeculated = true;
+        out.misspec_branch_pc = op.pc;
+        next_pc = taken ? sim::branch_target(i, op.pc) : op.pc + 4;
+        committed_bbs = op.bb_index + 1;
+        break;
+      }
+      continue;
+    }
+
+    switch (isa::fu_kind(i.op)) {
+      case isa::FuKind::kLdSt: {
+        const uint32_t addr = sim::effective_address(i, rs);
+        if (dcache != nullptr) out.dcache_stall_cycles += dcache->access(addr);
+        ++out.mem_ops;
+        if (isa::is_store(i.op)) {
+          ++out.stores;
+          store_buffer.store(addr, sim::mem_width(i.op), rt);
+        } else {
+          ++out.loads;
+          const int width = sim::mem_width(i.op);
+          uint32_t value = store_buffer.load(addr, width, memory);
+          if (i.op == Op::kLb) value = static_cast<uint32_t>(static_cast<int8_t>(value));
+          if (i.op == Op::kLh) value = static_cast<uint32_t>(static_cast<int16_t>(value));
+          if (i.rt != 0) ctx[i.rt] = value;
+        }
+        break;
+      }
+      case isa::FuKind::kMul: {
+        ++out.mul_ops;
+        const uint64_t product = sim::mult_eval(i.op, rs, rt);
+        ctx[kCtxLo] = static_cast<uint32_t>(product);
+        ctx[kCtxHi] = static_cast<uint32_t>(product >> 32);
+        break;
+      }
+      default: {
+        ++out.alu_ops;
+        if (i.op == Op::kMfhi) {
+          if (i.rd != 0) ctx[i.rd] = ctx[kCtxHi];
+        } else if (i.op == Op::kMflo) {
+          if (i.rd != 0) ctx[i.rd] = ctx[kCtxLo];
+        } else {
+          const uint32_t value = sim::alu_eval(i, rs, rt);
+          const int rd = isa::dest_reg(i);
+          if (rd > 0) ctx[static_cast<size_t>(rd)] = value;
+        }
+        break;
+      }
+    }
+  }
+
+  // Commit: every executed op belongs to a resolved basic block (the walk
+  // stops at the first mispredicted branch), so the whole context and the
+  // store buffer are architectural now.
+  ctx[0] = 0;
+  std::copy_n(ctx.begin(), 32, state.regs.begin());
+  state.hi = ctx[kCtxHi];
+  state.lo = ctx[kCtxLo];
+  store_buffer.drain_to(memory);
+  state.pc = next_pc;
+
+  out.next_pc = next_pc;
+  out.committed_bbs = committed_bbs;
+  out.exec_cycles = rows_exec_cycles(config, last_row, timing);
+  // Drain of the final write-backs, limited by the register-bank write
+  // ports (earlier rows' results retire during execution).
+  const int64_t port_cycles =
+      ceil_div(config.output_regs, timing.regfile_write_ports > 0 ? timing.regfile_write_ports : 1);
+  out.finalize_cycles = static_cast<uint64_t>(
+      port_cycles > timing.finalize_cycles ? port_cycles : timing.finalize_cycles);
+  if (out.misspeculated) {
+    out.misspec_penalty_cycles = static_cast<uint64_t>(timing.misspec_penalty);
+  }
+  return out;
+}
+
+}  // namespace dim::rra

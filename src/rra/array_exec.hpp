@@ -1,0 +1,65 @@
+// Execution of a configuration on the reconfigurable array.
+//
+// Functionally the array is an in-order dataflow evaluation of the
+// translated instructions: operands come from the register bank (input
+// context) or from producing rows; speculative basic blocks commit only
+// when their guarding branch resolves in the predicted direction; stores
+// drain to memory at commit. We evaluate the ops in original program order
+// against a context copy + store buffer — exactly the commit semantics of
+// the hardware — which makes transparency (bit-identical architectural
+// state) hold by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "rra/configuration.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::rra {
+
+struct BranchOutcome {
+  uint32_t pc = 0;
+  bool taken = false;
+  bool matched = false;  // outcome == prediction
+};
+
+struct ArrayExecOutcome {
+  uint32_t next_pc = 0;
+  int committed_ops = 0;  // translated instructions retired (incl. branches)
+  int committed_bbs = 0;
+  bool misspeculated = false;
+  uint32_t misspec_branch_pc = 0;
+  std::vector<BranchOutcome> branch_outcomes;
+
+  // Timing.
+  uint64_t exec_cycles = 0;           // row evaluation
+  uint64_t reconfig_stall_cycles = 0; // visible part of reconfiguration
+  uint64_t dcache_stall_cycles = 0;   // load/store misses during execution
+  uint64_t finalize_cycles = 0;
+  uint64_t misspec_penalty_cycles = 0;
+  uint64_t total_cycles() const {
+    return exec_cycles + reconfig_stall_cycles + dcache_stall_cycles +
+           finalize_cycles + misspec_penalty_cycles;
+  }
+
+  // Activity (for the power model).
+  int alu_ops = 0;
+  int mul_ops = 0;
+  int mem_ops = 0;
+  int loads = 0;
+  int stores = 0;
+};
+
+// Executes `config` against the architectural state. On return the state
+// (registers, HI/LO, memory) reflects every committed basic block and
+// `next_pc` tells the processor where to resume. `dcache`, when non-null,
+// is consulted for load/store stall cycles.
+ArrayExecOutcome execute_configuration(const Configuration& config,
+                                       sim::CpuState& state, mem::Memory& memory,
+                                       mem::Cache* dcache,
+                                       const ArrayTimingParams& timing);
+
+}  // namespace dim::rra

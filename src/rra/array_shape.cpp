@@ -1,0 +1,3 @@
+// Intentionally header-only; this translation unit exists so the build
+// keeps one object per module and future non-inline helpers have a home.
+#include "rra/array_shape.hpp"

@@ -1,0 +1,51 @@
+// Geometry of the coarse-grained reconfigurable array (paper Table 1) and
+// its timing parameters.
+#pragma once
+
+#include <cstdint>
+
+namespace dim::rra {
+
+// One row ("line") of the array holds a fixed group of functional units:
+// ALUs (which also execute shifts), multipliers, and load/store units.
+struct ArrayShape {
+  int lines = 24;
+  int alus_per_line = 8;
+  int muls_per_line = 1;
+  int ldsts_per_line = 2;
+
+  int columns() const { return alus_per_line + muls_per_line + ldsts_per_line; }
+
+  // Paper Table 1.
+  static ArrayShape config1() { return {24, 8, 1, 2}; }
+  static ArrayShape config2() { return {48, 8, 2, 6}; }
+  static ArrayShape config3() { return {150, 12, 2, 6}; }
+  // "assuming infinite hardware resources for the array"
+  static ArrayShape ideal() { return {1 << 20, 1 << 20, 1 << 20, 1 << 20}; }
+};
+
+struct ArrayTimingParams {
+  // Simple ALU rows chained within one processor-equivalent cycle
+  // ("more than one operation can be executed within one ... cycle").
+  int alu_rows_per_cycle = 3;
+  int mul_row_cycles = 1;   // a multiply row takes a full cycle
+  int mem_row_cycles = 1;   // a load/store row takes a cache-hit cycle
+  // Cycles of reconfiguration hidden by the front pipeline stages: the PC
+  // is known in IF and the array starts in EX, so 3 cycles are free.
+  int reconfig_overlap_cycles = 3;
+  // Register-bank ports available to fetch the input context.
+  int regfile_read_ports = 4;
+  // Register-bank ports available to drain results. Write-back runs in
+  // parallel with execution (per-row context tables); only the final
+  // drain of ceil(outputs / ports) cycles is exposed.
+  int regfile_write_ports = 8;
+  // Configuration words streamed from the reconfiguration cache per cycle.
+  int config_words_per_cycle = 16;
+  // Minimum trailing cycles to drain the last row's write-backs (the
+  // actual drain is max of this and the port-limited time).
+  int finalize_cycles = 1;
+  // Pipeline refill after a wrong speculative path.
+  int misspec_penalty = 2;
+};
+
+}  // namespace dim::rra

@@ -1,0 +1,94 @@
+#include "rra/config_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "bt/rcache.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+
+namespace dim::rra {
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed configuration: " + what);
+}
+
+}  // namespace
+
+void write_configuration(std::ostream& out, const Configuration& config) {
+  out << "config v1 " << config.start_pc << ' ' << config.end_pc << ' ' << config.num_bbs
+      << ' ' << config.rows_used << ' ' << config.input_regs << ' ' << config.output_regs
+      << ' ' << config.immediates << ' ' << config.ops.size() << '\n';
+  for (const ArrayOp& op : config.ops) {
+    out << "op " << isa::encode(op.instr) << ' ' << op.pc << ' ' << op.row << ' ' << op.col
+        << ' ' << op.bb_index << ' ' << (op.is_branch ? 1 : 0) << ' '
+        << (op.predicted_taken ? 1 : 0) << '\n';
+  }
+  out << "rowkinds";
+  for (RowKind k : config.row_kinds) out << ' ' << static_cast<int>(k);
+  out << '\n';
+}
+
+Configuration read_configuration(std::istream& in) {
+  Configuration config;
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "config" || version != "v1") {
+    malformed("expected 'config v1' header");
+  }
+  size_t nops = 0;
+  if (!(in >> config.start_pc >> config.end_pc >> config.num_bbs >> config.rows_used >>
+        config.input_regs >> config.output_regs >> config.immediates >> nops)) {
+    malformed("bad header fields");
+  }
+  config.ops.reserve(nops);
+  for (size_t i = 0; i < nops; ++i) {
+    std::string op_tag;
+    uint32_t word = 0;
+    int is_branch = 0, predicted = 0;
+    ArrayOp op;
+    if (!(in >> op_tag >> word >> op.pc >> op.row >> op.col >> op.bb_index >> is_branch >>
+          predicted) ||
+        op_tag != "op") {
+      malformed("bad op line " + std::to_string(i));
+    }
+    op.instr = isa::decode(word);
+    if (op.instr.op == isa::Op::kInvalid) malformed("invalid instruction word");
+    op.is_branch = is_branch != 0;
+    op.predicted_taken = predicted != 0;
+    op.kind = op.is_branch ? isa::FuKind::kAlu : isa::fu_kind(op.instr.op);
+    if (op.kind == isa::FuKind::kNone) op.kind = isa::FuKind::kAlu;  // mfhi/mflo moves
+    config.ops.push_back(op);
+  }
+  std::string rk_tag;
+  if (!(in >> rk_tag) || rk_tag != "rowkinds") malformed("expected rowkinds");
+  config.row_kinds.resize(static_cast<size_t>(config.rows_used));
+  for (int r = 0; r < config.rows_used; ++r) {
+    int k = 0;
+    if (!(in >> k) || k < 0 || k > 2) malformed("bad row kind");
+    config.row_kinds[static_cast<size_t>(r)] = static_cast<RowKind>(k);
+  }
+  return config;
+}
+
+void save_cache(std::ostream& out, const bt::ReconfigCache& cache) {
+  out << "rcache v1 " << cache.fifo_order().size() << '\n';
+  for (uint32_t pc : cache.fifo_order()) {
+    const Configuration* config = cache.peek(pc);
+    if (config != nullptr) write_configuration(out, *config);
+  }
+}
+
+void load_cache(std::istream& in, bt::ReconfigCache& cache) {
+  std::string tag, version;
+  size_t count = 0;
+  if (!(in >> tag >> version >> count) || tag != "rcache" || version != "v1") {
+    malformed("expected 'rcache v1 <count>' header");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    cache.insert(read_configuration(in));
+  }
+}
+
+}  // namespace dim::rra

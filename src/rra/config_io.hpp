@@ -1,0 +1,33 @@
+// Text serialization of array configurations. Lets a reconfiguration cache
+// be saved at the end of a run and pre-loaded on the next — a "persistent
+// translation cache" in binary-translation terms: the detection phase is
+// skipped entirely for code already translated on a previous execution.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "rra/configuration.hpp"
+
+namespace dim::bt {
+class ReconfigCache;
+}
+
+namespace dim::rra {
+
+// One configuration. Format (line-oriented, versioned):
+//   config v1 <start_pc> <end_pc> <num_bbs> <rows_used> <in> <out> <imm> <nops>
+//   op <word> <pc> <row> <col> <bb> <is_branch> <predicted_taken>
+//   ... (nops lines)
+//   rowkinds <k0> <k1> ...
+void write_configuration(std::ostream& out, const Configuration& config);
+
+// Parses one configuration. Throws std::runtime_error on malformed input.
+Configuration read_configuration(std::istream& in);
+
+// Whole-cache convenience (insertion order preserved: oldest first, so FIFO
+// age survives the round trip).
+void save_cache(std::ostream& out, const bt::ReconfigCache& cache);
+void load_cache(std::istream& in, bt::ReconfigCache& cache);
+
+}  // namespace dim::rra

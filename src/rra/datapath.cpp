@@ -1,0 +1,178 @@
+#include "rra/datapath.hpp"
+
+#include <algorithm>
+
+#include "sim/executor.hpp"
+
+namespace dim::rra {
+
+using isa::Instr;
+using isa::Op;
+
+RoutedConfig route(const Configuration& config) {
+  RoutedConfig routed;
+  routed.start_pc = config.start_pc;
+  routed.end_pc = config.end_pc;
+  routed.rows = config.rows_used;
+  routed.stations.reserve(config.ops.size());
+
+  for (const ArrayOp& op : config.ops) {
+    FuStation station;
+    station.instr = op.instr;
+    station.pc = op.pc;
+    station.row = op.row;
+    station.col = op.col;
+    station.kind = op.kind;
+    station.is_branch = op.is_branch;
+    station.predicted_taken = op.predicted_taken;
+    station.bb_index = op.bb_index;
+
+    // Input muxes: operand k listens to the bus line of its source
+    // register ($zero listens to the hard-wired zero line 0).
+    int srcs[2];
+    const int nsrc = array_srcs(op.instr, srcs);
+    for (int k = 0; k < nsrc; ++k) station.in_sel[k] = srcs[k];
+
+    // Output muxes: this unit re-drives its destination register's line
+    // from its row onward (branches and stores drive nothing).
+    if (!op.is_branch) {
+      int dsts[2];
+      const int ndst = array_dests(op.instr, dsts);
+      for (int k = 0; k < ndst; ++k) {
+        station.out_sel[k] = dsts[k];
+        routed.writeback[static_cast<size_t>(dsts[k])] = true;
+      }
+    }
+    routed.stations.push_back(station);
+  }
+  return routed;
+}
+
+namespace {
+
+// Byte-granular store queue identical in semantics to the behavioral one.
+class StoreQueue {
+ public:
+  void push(uint32_t addr, int width, uint32_t value) {
+    entries_.push_back({addr, value, width});
+  }
+  uint8_t byte(uint32_t addr, const mem::Memory& memory) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (addr >= it->addr && addr < it->addr + static_cast<uint32_t>(it->width)) {
+        return static_cast<uint8_t>(it->value >> ((addr - it->addr) * 8));
+      }
+    }
+    return memory.read8(addr);
+  }
+  uint32_t read(uint32_t addr, int width, const mem::Memory& memory) const {
+    uint32_t v = 0;
+    for (int b = 0; b < width; ++b) {
+      v |= static_cast<uint32_t>(byte(addr + static_cast<uint32_t>(b), memory)) << (8 * b);
+    }
+    return v;
+  }
+  void drain(mem::Memory& memory) const {
+    for (const auto& e : entries_) {
+      switch (e.width) {
+        case 1: memory.write8(e.addr, static_cast<uint8_t>(e.value)); break;
+        case 2: memory.write16(e.addr, static_cast<uint16_t>(e.value)); break;
+        default: memory.write32(e.addr, e.value); break;
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    uint32_t addr;
+    uint32_t value;
+    int width;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+StructuralOutcome execute_structural(const RoutedConfig& routed,
+                                     const sim::CpuState& input, mem::Memory& memory) {
+  StructuralOutcome out;
+
+  // Load the context bus from the register bank.
+  std::array<uint32_t, kNumCtxRegs> bus{};
+  std::copy(input.regs.begin(), input.regs.end(), bus.begin());
+  bus[kCtxHi] = input.hi;
+  bus[kCtxLo] = input.lo;
+  bus[0] = 0;  // hard-wired zero line
+
+  StoreQueue stores;
+  uint32_t next_pc = routed.end_pc;
+
+  // Stations retire in program order; operands arrive exclusively through
+  // the routed input muxes — never by register name — so this run proves
+  // the Reads/Writes tables are sufficient.
+  for (const FuStation& st : routed.stations) {
+    const uint32_t a = st.in_sel[0] >= 0 ? bus[static_cast<size_t>(st.in_sel[0])] : 0;
+    const uint32_t b = st.in_sel[1] >= 0 ? bus[static_cast<size_t>(st.in_sel[1])] : 0;
+    ++out.committed_ops;
+
+    if (st.is_branch) {
+      // The branch compares on an ALU: operand order matches array_srcs
+      // (rs first, rt second when present).
+      const Instr& i = st.instr;
+      uint32_t rs = a, rt = b;
+      const bool taken = sim::branch_taken(i, rs, rt);
+      if (taken != st.predicted_taken) {
+        out.misspeculated = true;
+        next_pc = taken ? sim::branch_target(i, st.pc) : st.pc + 4;
+        break;
+      }
+      continue;
+    }
+
+    switch (st.kind) {
+      case isa::FuKind::kLdSt: {
+        // For memory ops array_srcs yields (base) for loads and
+        // (base, value) for stores.
+        const uint32_t addr = a + static_cast<uint32_t>(st.instr.simm());
+        if (isa::is_store(st.instr.op)) {
+          stores.push(addr, sim::mem_width(st.instr.op), b);
+        } else {
+          uint32_t value = stores.read(addr, sim::mem_width(st.instr.op), memory);
+          if (st.instr.op == Op::kLb) value = static_cast<uint32_t>(static_cast<int8_t>(value));
+          if (st.instr.op == Op::kLh) value = static_cast<uint32_t>(static_cast<int16_t>(value));
+          if (st.out_sel[0] > 0) bus[static_cast<size_t>(st.out_sel[0])] = value;
+        }
+        break;
+      }
+      case isa::FuKind::kMul: {
+        const uint64_t product = sim::mult_eval(st.instr.op, a, b);
+        // out_sel[0] = HI line, out_sel[1] = LO line (array_dests order).
+        if (st.out_sel[0] > 0) bus[static_cast<size_t>(st.out_sel[0])] = static_cast<uint32_t>(product >> 32);
+        if (st.out_sel[1] > 0) bus[static_cast<size_t>(st.out_sel[1])] = static_cast<uint32_t>(product);
+        break;
+      }
+      default: {
+        uint32_t value;
+        if (st.instr.op == Op::kMfhi || st.instr.op == Op::kMflo) {
+          value = a;  // pure routing move: the input mux already selected HI/LO
+        } else if (st.instr.op == Op::kSll || st.instr.op == Op::kSrl ||
+                   st.instr.op == Op::kSra) {
+          // Constant shifts have a single source — rt — so the first input
+          // mux carries the rt value.
+          value = sim::alu_eval(st.instr, 0, a);
+        } else {
+          value = sim::alu_eval(st.instr, a, b);
+        }
+        if (st.out_sel[0] > 0) bus[static_cast<size_t>(st.out_sel[0])] = value;
+        break;
+      }
+    }
+  }
+
+  stores.drain(memory);
+  bus[0] = 0;
+  out.ctx = bus;
+  out.next_pc = next_pc;
+  return out;
+}
+
+}  // namespace dim::rra

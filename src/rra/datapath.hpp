@@ -1,0 +1,76 @@
+// Structural model of the array datapath (paper Figure 2).
+//
+// The behavioral executor (array_exec) evaluates translated instructions
+// against a register context. This model instead builds the actual
+// interconnect the paper describes:
+//   - a context bus with one line per context register (32 GPRs + HI + LO),
+//     loaded from the register bank at reconfiguration;
+//   - per functional unit, two *input multiplexers* that select which bus
+//     lines feed its operands (the Reads Table);
+//   - per bus line and row, an *output multiplexer* whose first input is
+//     the previous value of the same line and whose second input is a
+//     functional-unit result (the Writes Table) — this is how WAW/WAR
+//     renaming works in hardware: younger rows simply re-drive the line.
+//
+// Executing a configuration row-by-row through this structure must produce
+// exactly the behavioral results; the structural tests prove the paper's
+// bus architecture can realize every placement our translator emits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "rra/configuration.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::rra {
+
+// One functional-unit station: its operation plus the input-mux selects.
+struct FuStation {
+  isa::Instr instr;
+  uint32_t pc = 0;
+  int row = 0;
+  int col = 0;
+  isa::FuKind kind = isa::FuKind::kAlu;
+  int in_sel[2] = {-1, -1};  // bus line feeding operand 0/1 (-1 = unused)
+  int out_sel[2] = {-1, -1}; // bus lines re-driven by this unit's result(s)
+  bool is_branch = false;
+  bool predicted_taken = false;
+  int bb_index = 0;
+};
+
+// The fully-routed datapath for one configuration.
+struct RoutedConfig {
+  uint32_t start_pc = 0;
+  uint32_t end_pc = 0;
+  int rows = 0;
+  std::vector<FuStation> stations;  // sorted by (row, program order)
+  // Bus lines that must be written back to the register bank at the end
+  // (the context-current table): line index == context register index.
+  std::array<bool, kNumCtxRegs> writeback{};
+};
+
+// Derives mux selects from a placed configuration. The routing is purely
+// structural (no values involved): operand k of an op reads the bus line of
+// its source register; the op's destination re-drives that register's line
+// from its row onward.
+RoutedConfig route(const Configuration& config);
+
+struct StructuralOutcome {
+  uint32_t next_pc = 0;
+  int committed_ops = 0;
+  bool misspeculated = false;
+  std::array<uint32_t, kNumCtxRegs> ctx{};  // final bus values
+};
+
+// Drives the routed datapath: loads the bus from the register bank,
+// evaluates row by row, forwards store values through a store queue, and
+// resolves speculative branches. Memory is updated only by committed
+// stores. This is the reference the behavioral executor is checked against.
+StructuralOutcome execute_structural(const RoutedConfig& routed,
+                                     const sim::CpuState& input,
+                                     mem::Memory& memory);
+
+}  // namespace dim::rra

@@ -1,0 +1,247 @@
+#include "sim/executor.hpp"
+
+#include <string>
+
+#include "isa/decoder.hpp"
+
+namespace dim::sim {
+
+using isa::Instr;
+using isa::Op;
+
+uint32_t alu_eval(const Instr& i, uint32_t rs, uint32_t rt) {
+  switch (i.op) {
+    case Op::kSll: return rt << i.shamt;
+    case Op::kSrl: return rt >> i.shamt;
+    case Op::kSra: return static_cast<uint32_t>(static_cast<int32_t>(rt) >> i.shamt);
+    case Op::kSllv: return rt << (rs & 31);
+    case Op::kSrlv: return rt >> (rs & 31);
+    case Op::kSrav: return static_cast<uint32_t>(static_cast<int32_t>(rt) >> (rs & 31));
+    // We implement add/sub/addi without the overflow trap (as addu/subu do);
+    // Minimips does not take overflow exceptions either.
+    case Op::kAdd: case Op::kAddu: return rs + rt;
+    case Op::kSub: case Op::kSubu: return rs - rt;
+    case Op::kAnd: return rs & rt;
+    case Op::kOr: return rs | rt;
+    case Op::kXor: return rs ^ rt;
+    case Op::kNor: return ~(rs | rt);
+    case Op::kSlt: return static_cast<int32_t>(rs) < static_cast<int32_t>(rt) ? 1u : 0u;
+    case Op::kSltu: return rs < rt ? 1u : 0u;
+    case Op::kAddi: case Op::kAddiu: return rs + static_cast<uint32_t>(i.simm());
+    case Op::kSlti:
+      return static_cast<int32_t>(rs) < i.simm() ? 1u : 0u;
+    case Op::kSltiu:
+      return rs < static_cast<uint32_t>(i.simm()) ? 1u : 0u;
+    case Op::kAndi: return rs & i.uimm();
+    case Op::kOri: return rs | i.uimm();
+    case Op::kXori: return rs ^ i.uimm();
+    case Op::kLui: return static_cast<uint32_t>(i.uimm()) << 16;
+    default: return 0;
+  }
+}
+
+uint64_t mult_eval(Op op, uint32_t rs, uint32_t rt) {
+  if (op == Op::kMult) {
+    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(rs)) *
+                                 static_cast<int64_t>(static_cast<int32_t>(rt)));
+  }
+  return static_cast<uint64_t>(rs) * static_cast<uint64_t>(rt);
+}
+
+bool branch_taken(const Instr& i, uint32_t rs, uint32_t rt) {
+  const int32_t s = static_cast<int32_t>(rs);
+  switch (i.op) {
+    case Op::kBeq: return rs == rt;
+    case Op::kBne: return rs != rt;
+    case Op::kBlez: return s <= 0;
+    case Op::kBgtz: return s > 0;
+    case Op::kBltz: case Op::kBltzal: return s < 0;
+    case Op::kBgez: case Op::kBgezal: return s >= 0;
+    default: return false;
+  }
+}
+
+uint32_t branch_target(const Instr& i, uint32_t pc) {
+  return pc + 4 + (static_cast<uint32_t>(i.simm()) << 2);
+}
+
+uint32_t effective_address(const Instr& i, uint32_t rs) {
+  return rs + static_cast<uint32_t>(i.simm());
+}
+
+int mem_width(Op op) {
+  switch (op) {
+    case Op::kLb: case Op::kLbu: case Op::kSb: return 1;
+    case Op::kLh: case Op::kLhu: case Op::kSh: return 2;
+    default: return 4;
+  }
+}
+
+namespace {
+
+void do_syscall(CpuState& state, mem::Memory& memory) {
+  switch (state.regs[2]) {  // $v0 selects the service (SPIM conventions)
+    case 1: {  // print integer in $a0
+      state.output += std::to_string(static_cast<int32_t>(state.regs[4]));
+      break;
+    }
+    case 4: {  // print NUL-terminated string at $a0
+      uint32_t addr = state.regs[4];
+      for (int guard = 0; guard < 1 << 20; ++guard) {
+        const char c = static_cast<char>(memory.read8(addr++));
+        if (c == '\0') break;
+        state.output.push_back(c);
+      }
+      break;
+    }
+    case 11: {  // print char in $a0
+      state.output.push_back(static_cast<char>(state.regs[4]));
+      break;
+    }
+    case 10:  // exit
+    default:
+      state.halted = true;
+      break;
+  }
+}
+
+}  // namespace
+
+StepInfo step(CpuState& state, mem::Memory& memory) {
+  StepInfo info;
+  info.pc = state.pc;
+
+  const Instr i = isa::decode(memory.read32(state.pc));
+  info.instr = i;
+
+  uint32_t next_pc = state.pc + 4;
+  const uint32_t rs = state.regs[i.rs];
+  const uint32_t rt = state.regs[i.rt];
+
+  switch (i.op) {
+    case Op::kInvalid:
+      state.halted = true;
+      break;
+    case Op::kSyscall:
+      do_syscall(state, memory);
+      break;
+    case Op::kBreak:
+      state.halted = true;
+      break;
+
+    case Op::kMult: case Op::kMultu: {
+      const uint64_t product = mult_eval(i.op, rs, rt);
+      state.lo = static_cast<uint32_t>(product);
+      state.hi = static_cast<uint32_t>(product >> 32);
+      break;
+    }
+    case Op::kDiv: {
+      const int32_t a = static_cast<int32_t>(rs);
+      const int32_t b = static_cast<int32_t>(rt);
+      if (b == 0) {  // architecturally undefined; pick a deterministic result
+        state.lo = 0;
+        state.hi = rs;
+      } else if (a == INT32_MIN && b == -1) {
+        state.lo = static_cast<uint32_t>(INT32_MIN);
+        state.hi = 0;
+      } else {
+        state.lo = static_cast<uint32_t>(a / b);
+        state.hi = static_cast<uint32_t>(a % b);
+      }
+      break;
+    }
+    case Op::kDivu:
+      if (rt == 0) {
+        state.lo = 0;
+        state.hi = rs;
+      } else {
+        state.lo = rs / rt;
+        state.hi = rs % rt;
+      }
+      break;
+    case Op::kMfhi: if (i.rd) state.regs[i.rd] = state.hi; break;
+    case Op::kMflo: if (i.rd) state.regs[i.rd] = state.lo; break;
+    case Op::kMthi: state.hi = rs; break;
+    case Op::kMtlo: state.lo = rs; break;
+
+    case Op::kJ:
+      next_pc = ((state.pc + 4) & 0xF0000000u) | (i.target26 << 2);
+      info.taken = true;
+      break;
+    case Op::kJal:
+      state.regs[31] = state.pc + 4;
+      next_pc = ((state.pc + 4) & 0xF0000000u) | (i.target26 << 2);
+      info.taken = true;
+      break;
+    case Op::kJr:
+      next_pc = rs;
+      info.taken = true;
+      break;
+    case Op::kJalr:
+      if (i.rd) state.regs[i.rd] = state.pc + 4;
+      next_pc = rs;
+      info.taken = true;
+      break;
+
+    case Op::kBeq: case Op::kBne: case Op::kBlez: case Op::kBgtz:
+    case Op::kBltz: case Op::kBgez: {
+      info.is_branch = true;
+      if (branch_taken(i, rs, rt)) {
+        info.taken = true;
+        next_pc = branch_target(i, state.pc);
+      }
+      break;
+    }
+    case Op::kBltzal: case Op::kBgezal: {
+      info.is_branch = true;
+      state.regs[31] = state.pc + 4;
+      if (branch_taken(i, rs, rt)) {
+        info.taken = true;
+        next_pc = branch_target(i, state.pc);
+      }
+      break;
+    }
+
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu: {
+      const uint32_t addr = effective_address(i, rs);
+      info.mem_access = true;
+      info.mem_addr = addr;
+      uint32_t value = 0;
+      switch (i.op) {
+        case Op::kLb: value = static_cast<uint32_t>(static_cast<int8_t>(memory.read8(addr))); break;
+        case Op::kLbu: value = memory.read8(addr); break;
+        case Op::kLh: value = static_cast<uint32_t>(static_cast<int16_t>(memory.read16(addr))); break;
+        case Op::kLhu: value = memory.read16(addr); break;
+        default: value = memory.read32(addr); break;
+      }
+      if (i.rt) state.regs[i.rt] = value;
+      break;
+    }
+    case Op::kSb: case Op::kSh: case Op::kSw: {
+      const uint32_t addr = effective_address(i, rs);
+      info.mem_access = true;
+      info.mem_addr = addr;
+      switch (i.op) {
+        case Op::kSb: memory.write8(addr, static_cast<uint8_t>(rt)); break;
+        case Op::kSh: memory.write16(addr, static_cast<uint16_t>(rt)); break;
+        default: memory.write32(addr, rt); break;
+      }
+      break;
+    }
+
+    default: {  // every remaining ALU operation
+      const uint32_t value = alu_eval(i, rs, rt);
+      const int rd = isa::dest_reg(i);
+      if (rd > 0) state.regs[rd] = value;
+      break;
+    }
+  }
+
+  state.regs[0] = 0;  // $zero is hardwired
+  if (!state.halted) state.pc = next_pc;
+  info.next_pc = state.pc;
+  info.halted = state.halted;
+  return info;
+}
+
+}  // namespace dim::sim

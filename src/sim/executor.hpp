@@ -1,0 +1,39 @@
+// Functional (architectural) execution of MIPS I instructions.
+//
+// The same evaluation helpers are reused by the reconfigurable array
+// executor, which guarantees by construction that array results match the
+// processor's — the transparency property the paper's technique requires.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "mem/memory.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::sim {
+
+// Pure ALU evaluation (covers every FuKind::kAlu operation plus lui).
+// `rs` / `rt` are the architectural source values.
+uint32_t alu_eval(const isa::Instr& i, uint32_t rs, uint32_t rt);
+
+// 32x32 -> 64 multiply as performed by mult/multu.
+uint64_t mult_eval(isa::Op op, uint32_t rs, uint32_t rt);
+
+// Conditional-branch outcome.
+bool branch_taken(const isa::Instr& i, uint32_t rs, uint32_t rt);
+
+// Target of a conditional branch located at `pc`.
+uint32_t branch_target(const isa::Instr& i, uint32_t pc);
+
+// Effective address of a load/store.
+uint32_t effective_address(const isa::Instr& i, uint32_t rs);
+
+// Width in bytes of a load/store operation.
+int mem_width(isa::Op op);
+
+// Executes one instruction at state.pc. Updates state and memory, returns
+// the retirement record. Invalid opcodes and syscall exit halt the core.
+StepInfo step(CpuState& state, mem::Memory& memory);
+
+}  // namespace dim::sim

@@ -1,0 +1,36 @@
+#include "sim/machine.hpp"
+
+namespace dim::sim {
+
+Machine::Machine(const asmblr::Program& program, const MachineConfig& config)
+    : config_(config), pipeline_(config.timing) {
+  program.load_into(memory_);
+  state_.pc = program.entry;
+  state_.regs[29] = config_.initial_sp;  // $sp
+  state_.regs[28] = config_.initial_gp;  // $gp
+}
+
+RunResult Machine::run(const std::function<void(const StepInfo&)>& observer) {
+  RunResult result;
+  while (!state_.halted && result.instructions < config_.max_instructions) {
+    const StepInfo info = step(state_, memory_);
+    ++result.instructions;
+    pipeline_.retire(info);
+    if (info.mem_access) ++result.mem_accesses;
+    if (observer) observer(info);
+  }
+  result.hit_limit = !state_.halted;
+  result.cycles = pipeline_.cycles();
+  result.state = state_;
+  result.memory_hash = memory_.content_hash();
+  result.icache_misses = pipeline_.icache().misses();
+  result.dcache_misses = pipeline_.dcache().misses();
+  return result;
+}
+
+RunResult run_baseline(const asmblr::Program& program, const MachineConfig& config) {
+  Machine machine(program, config);
+  return machine.run();
+}
+
+}  // namespace dim::sim

@@ -1,0 +1,57 @@
+// Baseline machine: the standalone MIPS core running a program to
+// completion, with cycle accounting. This is the reference the paper's
+// speedups are measured against, and the oracle for transparency tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "asm/program.hpp"
+#include "mem/memory.hpp"
+#include "sim/cpu_state.hpp"
+#include "sim/executor.hpp"
+#include "sim/pipeline.hpp"
+
+namespace dim::sim {
+
+struct RunResult {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  bool hit_limit = false;  // stopped by max_instructions, not by halt
+  CpuState state;
+  uint64_t memory_hash = 0;
+  uint64_t icache_misses = 0;
+  uint64_t dcache_misses = 0;
+  uint64_t mem_accesses = 0;
+};
+
+struct MachineConfig {
+  TimingParams timing;
+  uint64_t max_instructions = 200'000'000;
+  uint32_t initial_sp = 0x7FFF0000;
+  uint32_t initial_gp = 0x10008000;
+};
+
+class Machine {
+ public:
+  Machine(const asmblr::Program& program, const MachineConfig& config = {});
+
+  // Runs to halt (or instruction limit). `observer`, when set, sees every
+  // retired instruction — used by the profiler.
+  RunResult run(const std::function<void(const StepInfo&)>& observer = nullptr);
+
+  mem::Memory& memory() { return memory_; }
+  CpuState& state() { return state_; }
+
+ private:
+  MachineConfig config_;
+  mem::Memory memory_;
+  CpuState state_;
+  PipelineModel pipeline_;
+};
+
+// Convenience: assemble-load-run in one call.
+RunResult run_baseline(const asmblr::Program& program, const MachineConfig& config = {});
+
+}  // namespace dim::sim

@@ -1,0 +1,82 @@
+#include "sim/pipeline.hpp"
+
+#include "isa/instruction.hpp"
+
+namespace dim::sim {
+
+using isa::Op;
+
+uint64_t PipelineModel::retire(const StepInfo& info) {
+  const uint64_t before = cycles_;
+  const isa::Instr& i = info.instr;
+  const bool is_mem = isa::is_load(i.op) || isa::is_store(i.op);
+  const bool is_hilo = isa::is_mult_div(i.op);
+
+  // Load-use interlock against the immediately preceding instruction.
+  bool load_use = false;
+  if (pending_load_reg_ > 0) {
+    int srcs[2];
+    const int n = isa::src_regs(i, srcs);
+    for (int k = 0; k < n; ++k) {
+      if (srcs[k] == pending_load_reg_) {
+        load_use = true;
+        break;
+      }
+    }
+  }
+
+  // Dual-issue pairing: share the previous instruction's cycle when legal.
+  bool paired = false;
+  if (params_.issue_width >= 2 && slot_open_ && !load_use) {
+    int srcs[2];
+    const int n = isa::src_regs(i, srcs);
+    bool raw = false;
+    for (int k = 0; k < n; ++k) raw |= (slot_dest_ > 0 && srcs[k] == slot_dest_);
+    if (!raw && !(slot_mem_ && is_mem) && !(slot_hilo_ && is_hilo)) paired = true;
+  }
+
+  if (paired) {
+    slot_open_ = false;  // the pair is complete
+  } else {
+    cycles_ += 1;  // new issue cycle
+    slot_open_ = params_.issue_width >= 2;
+    slot_dest_ = isa::dest_reg(i);
+    slot_mem_ = is_mem;
+    slot_hilo_ = is_hilo;
+  }
+
+  cycles_ += icache_.access(info.pc);
+  if (load_use) cycles_ += params_.load_use_stall;
+  pending_load_reg_ = isa::is_load(i.op) ? isa::dest_reg(i) : -1;
+
+  if (info.mem_access) cycles_ += dcache_.access(info.mem_addr);
+
+  if (isa::is_mult_div(i.op)) {
+    const uint32_t latency =
+        (i.op == Op::kDiv || i.op == Op::kDivu) ? params_.div_latency : params_.mult_latency;
+    hilo_ready_ = cycles_ + latency;
+  } else if (isa::is_hilo_read(i.op) || i.op == Op::kMthi || i.op == Op::kMtlo) {
+    if (cycles_ < hilo_ready_) cycles_ = hilo_ready_;
+  }
+
+  if (info.taken) {
+    cycles_ += params_.taken_branch_penalty;
+    slot_open_ = false;  // redirect: nothing pairs across a taken transfer
+  }
+
+  return cycles_ - before;
+}
+
+void PipelineModel::reset() {
+  cycles_ = 0;
+  pending_load_reg_ = -1;
+  hilo_ready_ = 0;
+  slot_open_ = false;
+  slot_dest_ = -1;
+  slot_mem_ = false;
+  slot_hilo_ = false;
+  icache_.reset();
+  dcache_.reset();
+}
+
+}  // namespace dim::sim

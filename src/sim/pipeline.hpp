@@ -1,0 +1,73 @@
+// Cycle model of the 5-stage in-order R3000-class pipeline (Minimips).
+//
+// The functional executor retires instructions; this model charges cycles:
+//   - 1 cycle per instruction (single-issue, in-order)
+//   - load-use interlock: 1 stall when an instruction reads the destination
+//     of the immediately preceding load
+//   - taken branches/jumps redirect the fetch after EX: 2 bubble cycles
+//   - mult/div execute in a non-blocking HI/LO unit; mfhi/mflo stall until
+//     the unit finishes
+//   - optional I/D cache models add miss stalls
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::sim {
+
+struct TimingParams {
+  uint32_t taken_branch_penalty = 2;
+  uint32_t load_use_stall = 1;
+  uint32_t mult_latency = 4;
+  uint32_t div_latency = 20;
+  // 1 = the paper's scalar Minimips baseline. 2 = a dual-issue in-order
+  // core (for the stronger-baseline ablation): two consecutive
+  // instructions share a cycle when they have no RAW dependence, at most
+  // one is a memory access, at most one targets HI/LO, and the first is
+  // not a taken control transfer.
+  uint32_t issue_width = 1;
+  mem::CacheParams icache;
+  mem::CacheParams dcache;
+};
+
+class PipelineModel {
+ public:
+  explicit PipelineModel(const TimingParams& params)
+      : params_(params), icache_(params.icache), dcache_(params.dcache) {}
+
+  // Accounts one retired instruction; returns the cycles it consumed.
+  uint64_t retire(const StepInfo& info);
+
+  // Accounts a fetch redirect caused by the reconfigurable array updating
+  // the PC past a translated region (charged like a taken branch would be
+  // if the array did not hide it; the paper's scheme hides it, so the
+  // accelerated system does NOT call this by default — it exists for
+  // ablations).
+  void charge(uint64_t cycles) { cycles_ += cycles; }
+
+  void reset();
+
+  uint64_t cycles() const { return cycles_; }
+  mem::Cache& icache() { return icache_; }
+  mem::Cache& dcache() { return dcache_; }
+  const TimingParams& params() const { return params_; }
+
+ private:
+  TimingParams params_;
+  mem::Cache icache_;
+  mem::Cache dcache_;
+  uint64_t cycles_ = 0;
+  int pending_load_reg_ = -1;   // destination of the previous load, if any
+  uint64_t hilo_ready_ = 0;     // absolute cycle when HI/LO become readable
+
+  // Dual-issue pairing state: description of the instruction occupying the
+  // first slot of the current issue cycle (if any).
+  bool slot_open_ = false;
+  int slot_dest_ = -1;
+  bool slot_mem_ = false;
+  bool slot_hilo_ = false;
+};
+
+}  // namespace dim::sim

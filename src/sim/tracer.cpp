@@ -1,0 +1,42 @@
+#include "sim/tracer.hpp"
+
+#include <cstdio>
+
+#include "isa/disasm.hpp"
+#include "isa/registers.hpp"
+
+namespace dim::sim {
+
+void Tracer::observe(const StepInfo& info, const CpuState& state) {
+  if (lines_ >= options_.max_lines) return;
+  ++lines_;
+
+  char head[32];
+  std::snprintf(head, sizeof head, "%08x:  ", info.pc);
+  out_ << head << isa::disasm(info.instr, info.pc);
+
+  if (options_.show_registers) {
+    const int rd = isa::dest_reg(info.instr);
+    if (rd > 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "   ; %s = 0x%08x",
+                    isa::reg_name(rd).c_str(), state.regs[static_cast<size_t>(rd)]);
+      out_ << buf;
+    }
+  }
+  if (options_.show_memory && info.mem_access) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "   ; mem[0x%08x]", info.mem_addr);
+    out_ << buf;
+  }
+  if (info.is_branch) out_ << (info.taken ? "   ; taken" : "   ; not taken");
+  out_ << '\n';
+}
+
+void Tracer::note(const std::string& message) {
+  if (lines_ >= options_.max_lines) return;
+  ++lines_;
+  out_ << "---------- " << message << '\n';
+}
+
+}  // namespace dim::sim

@@ -1,0 +1,40 @@
+// Execution tracer: renders the retired instruction stream (and, on the
+// accelerated system, array activations) as human-readable text. Useful for
+// debugging kernels and for teaching how DIM carves the stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "sim/cpu_state.hpp"
+
+namespace dim::sim {
+
+struct TracerOptions {
+  uint64_t max_lines = 10000;   // stop tracing after this many lines
+  bool show_registers = false;  // append the written register's new value
+  bool show_memory = false;     // append load/store addresses
+};
+
+class Tracer {
+ public:
+  Tracer(std::ostream& out, const TracerOptions& options = {})
+      : out_(out), options_(options) {}
+
+  // Call with every retired instruction (fits Machine::run's observer).
+  void observe(const StepInfo& info, const CpuState& state);
+
+  // Annotation hook for array activations on the accelerated system.
+  void note(const std::string& message);
+
+  uint64_t lines() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  TracerOptions options_;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace dim::sim

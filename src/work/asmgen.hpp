@@ -1,0 +1,49 @@
+// Helpers to embed generated input data into assembly .data sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dim::work {
+
+inline std::string dot_words(const std::vector<uint32_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i % 8 == 0) out += (i == 0) ? "        .word " : "\n        .word ";
+    else out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+inline std::string dot_words_i(const std::vector<int32_t>& values) {
+  std::vector<uint32_t> u(values.size());
+  for (size_t i = 0; i < values.size(); ++i) u[i] = static_cast<uint32_t>(values[i]);
+  return dot_words(u);
+}
+
+inline std::string dot_halfs(const std::vector<int16_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i % 12 == 0) out += (i == 0) ? "        .half " : "\n        .half ";
+    else out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+inline std::string dot_bytes(const std::vector<uint8_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i % 16 == 0) out += (i == 0) ? "        .byte " : "\n        .byte ";
+    else out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace dim::work

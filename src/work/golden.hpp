@@ -1,0 +1,65 @@
+// Golden (reference) C++ implementations of every workload algorithm, used
+// to compute expected outputs for the assembly kernels and as known-answer
+// test subjects themselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dim::work::golden {
+
+// Deterministic input generator shared by golden models and the embedded
+// .data sections (numerical-recipes LCG).
+inline uint32_t lcg(uint32_t& state) {
+  state = state * 1664525u + 1013904223u;
+  return state;
+}
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), table-driven.
+std::vector<uint32_t> crc32_table();
+uint32_t crc32(const std::vector<uint8_t>& data);
+
+// SHA-1 over whole 64-byte blocks (no padding — the kernels hash exact
+// multiples of the block size). Returns h0..h4.
+std::array<uint32_t, 5> sha1_blocks(const std::vector<uint8_t>& data);
+
+// AES-128, FIPS-197.
+struct Aes128 {
+  explicit Aes128(const std::array<uint8_t, 16>& key);
+  std::array<uint8_t, 16> encrypt(const std::array<uint8_t, 16>& block) const;
+  std::array<uint8_t, 16> decrypt(const std::array<uint8_t, 16>& block) const;
+  std::array<uint8_t, 176> round_keys{};  // 11 round keys
+};
+extern const std::array<uint8_t, 256> kAesSbox;
+extern const std::array<uint8_t, 256> kAesInvSbox;
+
+// IMA ADPCM (Intel/DVI), as in MiBench rawcaudio/rawdaudio.
+extern const std::array<int16_t, 89> kAdpcmStepTable;
+extern const std::array<int8_t, 16> kAdpcmIndexTable;
+std::vector<uint8_t> adpcm_encode(const std::vector<int16_t>& samples);
+std::vector<int16_t> adpcm_decode(const std::vector<uint8_t>& codes, size_t sample_count);
+
+// Fixed-point 8x8 forward/inverse DCT (naive matrix form, 14-bit cosine
+// table) — the arithmetic core of the JPEG kernels.
+extern const std::array<int32_t, 64> kDctCos14;  // round(cos coeffs << 14)
+void dct8x8(const int16_t in[64], int16_t out[64]);
+void idct8x8(const int16_t in[64], int16_t out[64]);
+extern const std::array<int16_t, 64> kJpegQuant;
+
+// GSM-style short-term lattice analysis/synthesis filter with 8 reflection
+// coefficients (the arithmetic core of the GSM codec kernels).
+extern const std::array<int16_t, 8> kGsmReflection;
+std::vector<int16_t> gsm_analysis(const std::vector<int16_t>& samples);
+std::vector<int16_t> gsm_synthesis(const std::vector<int16_t>& residual);
+
+// SUSAN-style image kernels on 8-bit grayscale images.
+std::vector<uint8_t> susan_smooth(const std::vector<uint8_t>& img, int w, int h);
+int susan_corners(const std::vector<uint8_t>& img, int w, int h);
+int susan_edges(const std::vector<uint8_t>& img, int w, int h);
+// Brightness-similarity LUT shared with the assembly kernels:
+// lut[d] = 100 / (1 + (d*d) / 512)  for d in [0,255].
+std::vector<int32_t> susan_lut();
+
+}  // namespace dim::work::golden

@@ -1,0 +1,47 @@
+#include "work/workload.hpp"
+
+#include <stdexcept>
+
+namespace dim::work {
+
+const std::vector<std::string>& workload_names() {
+  // Paper Table 2 order: most dataflow at the top.
+  static const std::vector<std::string> names = {
+      "rijndael_e", "rijndael_d", "gsm_e",   "jpeg_e",     "sha",
+      "susan_s",    "crc32",      "jpeg_d",  "patricia",   "susan_c",
+      "susan_e",    "dijkstra",   "gsm_d",   "bitcount",   "stringsearch",
+      "quicksort",  "rawaudio_e", "rawaudio_d"};
+  return names;
+}
+
+Workload make_workload(const std::string& name, int scale) {
+  if (scale < 1) scale = 1;
+  if (name == "crc32") return make_crc32(scale);
+  if (name == "bitcount") return make_bitcount(scale);
+  if (name == "quicksort") return make_quicksort(scale);
+  if (name == "sha") return make_sha(scale);
+  if (name == "rijndael_e") return make_rijndael_e(scale);
+  if (name == "rijndael_d") return make_rijndael_d(scale);
+  if (name == "rawaudio_e") return make_rawaudio_e(scale);
+  if (name == "rawaudio_d") return make_rawaudio_d(scale);
+  if (name == "stringsearch") return make_stringsearch(scale);
+  if (name == "dijkstra") return make_dijkstra(scale);
+  if (name == "patricia") return make_patricia(scale);
+  if (name == "jpeg_e") return make_jpeg_e(scale);
+  if (name == "jpeg_d") return make_jpeg_d(scale);
+  if (name == "gsm_e") return make_gsm_e(scale);
+  if (name == "gsm_d") return make_gsm_d(scale);
+  if (name == "susan_s") return make_susan_s(scale);
+  if (name == "susan_c") return make_susan_c(scale);
+  if (name == "susan_e") return make_susan_e(scale);
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<Workload> all_workloads(int scale) {
+  std::vector<Workload> out;
+  out.reserve(workload_names().size());
+  for (const std::string& name : workload_names()) out.push_back(make_workload(name, scale));
+  return out;
+}
+
+}  // namespace dim::work

@@ -1,0 +1,155 @@
+// Patricia (MiBench network/patricia): radix-trie insert and lookup over
+// 16-bit keys (routing-table style). Pointer chasing with a branch per
+// bit — no hot kernel, many small basic blocks.
+#include <set>
+
+#include "work/asmgen.hpp"
+#include "work/golden.hpp"
+#include "work/workload.hpp"
+
+namespace dim::work {
+
+Workload make_patricia(int scale) {
+  const int inserts = 900 * scale;
+  const int lookups = 1800 * scale;
+  uint32_t seed = 0x9A721C1Au;
+
+  std::vector<uint32_t> keys(static_cast<size_t>(inserts));
+  for (auto& k : keys) k = golden::lcg(seed) & 0xFFFF;
+
+  std::vector<uint32_t> queries(static_cast<size_t>(lookups));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i % 2 == 0) {
+      queries[i] = keys[(golden::lcg(seed) % keys.size())];
+    } else {
+      queries[i] = golden::lcg(seed) & 0xFFFF;
+    }
+  }
+
+  std::set<uint32_t> present(keys.begin(), keys.end());
+  uint32_t hits = 0;
+  for (uint32_t q : queries) hits += present.count(q) ? 1 : 0;
+
+  // Longest-prefix-match pass (the routing-table lookup patricia exists
+  // for): for each query, the depth of the deepest trie node on its path.
+  // Mirrors the node-per-bit trie the kernel builds.
+  uint32_t lpm_sum = 0;
+  for (uint32_t q : queries) {
+    uint32_t depth = 0;
+    for (uint32_t k : present) {
+      uint32_t common = 0;
+      for (int b = 15; b >= 0; --b) {
+        if (((q >> b) & 1) != ((k >> b) & 1)) break;
+        ++common;
+      }
+      depth = std::max(depth, common);
+    }
+    lpm_sum += depth;
+  }
+  const uint32_t combined = hits + 17u * lpm_sum;
+
+  // Node layout: [0]=left, [4]=right, [8]=key, [12]=valid — 16 bytes,
+  // bump-allocated from the zero-initialized pool.
+  const int pool_bytes = 16 * (16 * inserts + 2);
+
+  std::string src;
+  src += "        .data\n";
+  src += "keys:\n" + dot_words(keys);
+  src += "qrys:\n" + dot_words(queries);
+  src += "pool:   .space " + std::to_string(pool_bytes) + "\n";
+  src += "        .text\n";
+  src += "main:   la $s0, pool          # root node\n";
+  src += "        la $s1, pool\n";
+  src += "        addiu $s1, $s1, 16    # bump allocator pointer\n";
+  src += "        la $s2, keys\n";
+  src += "        li $s3, " + std::to_string(inserts) + "\n";
+  src += R"(# ---- insert phase ----
+ins:    lw $t0, 0($s2)        # key
+        addiu $s2, $s2, 4
+        move $t1, $s0         # node = root
+        li $t2, 15            # bit index
+insbit: srlv $t3, $t0, $t2
+        andi $t3, $t3, 1
+        sll $t3, $t3, 2       # child offset 0/4
+        addu $t4, $t1, $t3
+        lw $t5, 0($t4)        # child pointer
+        bnez $t5, insdesc
+        move $t5, $s1         # allocate new node
+        addiu $s1, $s1, 16
+        sw $t5, 0($t4)
+insdesc:
+        move $t1, $t5
+        addiu $t2, $t2, -1
+        bgez $t2, insbit
+        sw $t0, 8($t1)        # leaf: key
+        li $t3, 1
+        sw $t3, 12($t1)       # valid
+        addiu $s3, $s3, -1
+        bnez $s3, ins
+# ---- lookup phase ----
+        la $s2, qrys
+)";
+  src += "        li $s3, " + std::to_string(lookups) + "\n";
+  src += R"(        li $s7, 0             # hits
+look:   lw $t0, 0($s2)
+        addiu $s2, $s2, 4
+        move $t1, $s0
+        li $t2, 15
+lkbit:  srlv $t3, $t0, $t2
+        andi $t3, $t3, 1
+        sll $t3, $t3, 2
+        addu $t4, $t1, $t3
+        lw $t1, 0($t4)
+        beqz $t1, lkmiss
+        addiu $t2, $t2, -1
+        bgez $t2, lkbit
+        lw $t3, 12($t1)       # valid?
+        beqz $t3, lkmiss
+        lw $t3, 8($t1)
+        bne $t3, $t0, lkmiss
+        addiu $s7, $s7, 1
+lkmiss: addiu $s3, $s3, -1
+        bnez $s3, look
+# ---- longest-prefix-match phase (routing-table style) ----
+        la $s2, qrys
+)";
+  src += "        li $s3, " + std::to_string(lookups) + "\n";
+  src += R"(        li $s5, 0             # lpm depth sum
+lpm:    lw $t0, 0($s2)
+        addiu $s2, $s2, 4
+        move $t1, $s0         # node = root
+        li $t2, 15
+        li $t5, 0             # depth
+lpmbit: srlv $t3, $t0, $t2
+        andi $t3, $t3, 1
+        sll $t3, $t3, 2
+        addu $t4, $t1, $t3
+        lw $t4, 0($t4)
+        beqz $t4, lpmend
+        addiu $t5, $t5, 1
+        move $t1, $t4
+        addiu $t2, $t2, -1
+        bgez $t2, lpmbit
+lpmend: addu $s5, $s5, $t5
+        addiu $s3, $s3, -1
+        bnez $s3, lpm
+# combined = hits + 17 * lpm_sum
+        sll $t0, $s5, 4
+        addu $t0, $t0, $s5
+        addu $a0, $s7, $t0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+  Workload w;
+  w.name = "patricia";
+  w.display = "Patricia";
+  w.dataflow_group = true;
+  w.source = std::move(src);
+  w.expected_output = std::to_string(static_cast<int32_t>(combined));
+  return w;
+}
+
+}  // namespace dim::work

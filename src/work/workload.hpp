@@ -1,0 +1,55 @@
+// MiBench-equivalent workloads (DESIGN.md §4 substitution: the paper runs
+// MiBench binaries compiled with a MIPS cross-compiler; offline we write the
+// same algorithm kernels directly in MIPS assembly and validate each one
+// against a C++ golden model).
+//
+// Every workload prints a checksum through the print syscalls and exits; the
+// expected output is computed by the golden model over the same embedded
+// input data, so functional correctness of the whole simulator stack is
+// checked on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dim::work {
+
+struct Workload {
+  std::string name;     // e.g. "rijndael_e"
+  std::string display;  // paper row label, e.g. "Rijndael E."
+  bool dataflow_group;  // top half of Table 2 (dataflow) vs bottom (control)
+  std::string source;   // MIPS assembly
+  std::string expected_output;
+};
+
+// Workload names in the paper's Table 2 order (most dataflow first).
+const std::vector<std::string>& workload_names();
+
+// Builds one workload. `scale` >= 1 multiplies the input size / iteration
+// count; tests use scale 1, benches may use larger scales.
+Workload make_workload(const std::string& name, int scale = 1);
+
+std::vector<Workload> all_workloads(int scale = 1);
+
+// --- individual factories (one per wl_*.cpp) --------------------------------
+Workload make_crc32(int scale);
+Workload make_bitcount(int scale);
+Workload make_quicksort(int scale);
+Workload make_sha(int scale);
+Workload make_rijndael_e(int scale);
+Workload make_rijndael_d(int scale);
+Workload make_rawaudio_e(int scale);
+Workload make_rawaudio_d(int scale);
+Workload make_stringsearch(int scale);
+Workload make_dijkstra(int scale);
+Workload make_patricia(int scale);
+Workload make_jpeg_e(int scale);
+Workload make_jpeg_d(int scale);
+Workload make_gsm_e(int scale);
+Workload make_gsm_d(int scale);
+Workload make_susan_s(int scale);
+Workload make_susan_c(int scale);
+Workload make_susan_e(int scale);
+
+}  // namespace dim::work

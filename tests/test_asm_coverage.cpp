@@ -1,0 +1,226 @@
+// Assembler edge cases: every pseudo-instruction expansion, section
+// gymnastics, operand forms, and the long tail of error diagnostics.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "mem/memory.hpp"
+#include "sim/machine.hpp"
+
+namespace dim::asmblr {
+namespace {
+
+using isa::Op;
+
+std::vector<isa::Instr> text_of(const std::string& source) {
+  const Program p = assemble(source);
+  const Segment& text = p.segments[0];
+  std::vector<isa::Instr> out;
+  for (size_t off = 0; off + 4 <= text.bytes.size(); off += 4) {
+    const uint32_t word = static_cast<uint32_t>(text.bytes[off]) |
+                          (static_cast<uint32_t>(text.bytes[off + 1]) << 8) |
+                          (static_cast<uint32_t>(text.bytes[off + 2]) << 16) |
+                          (static_cast<uint32_t>(text.bytes[off + 3]) << 24);
+    out.push_back(isa::decode(word));
+  }
+  return out;
+}
+
+// Running a snippet and checking its output exercises assembly + execution.
+std::string output_of(const std::string& source) {
+  const sim::RunResult r = sim::run_baseline(assemble(source));
+  EXPECT_FALSE(r.hit_limit);
+  return r.state.output;
+}
+
+TEST(AsmPseudo, NegNotMove) {
+  EXPECT_EQ(output_of(R"(
+main:   li $t0, 5
+        neg $t1, $t0
+        not $t2, $zero
+        move $a0, $t1
+        li $v0, 1
+        syscall
+        li $v0, 11
+        li $a0, ','
+        syscall
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)"), "-5,-1");
+}
+
+TEST(AsmPseudo, SubiuAndB) {
+  EXPECT_EQ(output_of(R"(
+main:   li $t0, 10
+        subiu $t0, $t0, 3
+        b skip
+        li $t0, 99
+skip:   move $a0, $t0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)"), "7");
+}
+
+TEST(AsmPseudo, AllComparisonBranchDirections) {
+  // Exercise blt/ble/bgt/bge and unsigned variants on both outcomes.
+  EXPECT_EQ(output_of(R"(
+main:   li $t0, -2
+        li $t1, 3
+        li $a0, 0
+        blt $t0, $t1, a
+        addiu $a0, $a0, 100
+a:      ble $t1, $t1, b
+        addiu $a0, $a0, 100
+b:      bgt $t1, $t0, c
+        addiu $a0, $a0, 100
+c:      bge $t0, $t1, d       # -2 >= 3 is false: fall through
+        addiu $a0, $a0, 1
+d:      bltu $t0, $t1, e      # 0xFFFFFFFE < 3 unsigned is false
+        addiu $a0, $a0, 2
+e:      bgeu $t0, $t1, f      # 0xFFFFFFFE >= 3 unsigned: taken
+        addiu $a0, $a0, 100
+f:      bgtu $t1, $t0, g      # 3 > 0xFFFFFFFE unsigned is false
+        addiu $a0, $a0, 4
+g:      bleu $t1, $t0, h      # 3 <= 0xFFFFFFFE unsigned: taken
+        addiu $a0, $a0, 100
+h:      li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)"), "7");
+}
+
+TEST(AsmPseudo, JalrSingleOperandLinksRa) {
+  auto text = text_of("main: jalr $t9\n");
+  ASSERT_EQ(text.size(), 1u);
+  EXPECT_EQ(text[0].op, Op::kJalr);
+  EXPECT_EQ(text[0].rd, 31);
+  EXPECT_EQ(text[0].rs, 25);
+}
+
+TEST(AsmSections, DataBeforeTextAndInterleaved) {
+  const Program p = assemble(R"(
+        .data
+a:      .word 1
+        .text
+main:   nop
+        .data
+b:      .word 2
+        .text
+more:   nop
+)");
+  EXPECT_EQ(p.symbol("a") + 4, p.symbol("b"));
+  EXPECT_EQ(p.symbol("more"), p.symbol("main") + 4);
+}
+
+TEST(AsmSections, ExplicitSectionAddresses) {
+  const Program p = assemble(R"(
+        .text 0x00480000
+main:   nop
+        .data 0x10020000
+v:      .word 5
+)");
+  EXPECT_EQ(p.entry, 0x00480000u);
+  EXPECT_EQ(p.symbol("v"), 0x10020000u);
+}
+
+TEST(AsmOperands, CharLiteralsAndHexEverywhere) {
+  auto text = text_of("main: li $t0, 'A'\n andi $t1, $t0, 0x0F\n sll $t2, $t1, 0x2\n");
+  EXPECT_EQ(text[0].simm(), 'A');
+  EXPECT_EQ(text[1].uimm(), 0x0Fu);
+  EXPECT_EQ(text[2].shamt, 2);
+}
+
+TEST(AsmOperands, SymbolPlusOffsetInMemref) {
+  // At the default data base the absolute address cannot fit a 16-bit
+  // displacement from $zero — the assembler must reject it...
+  EXPECT_THROW(assemble(R"(
+        .data
+arr:    .word 10, 20, 30
+        .text
+main:   lw $t0, arr+8($zero)
+)"),
+               AsmError);
+  // ...but with a low data section the same form is legal and resolves.
+  const Program p = assemble(R"(
+        .data 0x1000
+arr:    .word 10, 20, 30
+        .text
+main:   lw $t0, arr+8($zero)
+)");
+  const auto& text = p.segments[0];
+  const uint32_t word = static_cast<uint32_t>(text.bytes[0]) |
+                        (static_cast<uint32_t>(text.bytes[1]) << 8) |
+                        (static_cast<uint32_t>(text.bytes[2]) << 16) |
+                        (static_cast<uint32_t>(text.bytes[3]) << 24);
+  EXPECT_EQ(isa::decode(word).simm(), 0x1008);
+}
+
+TEST(AsmErrors, TheLongTail) {
+  EXPECT_THROW(assemble("main: lui $t0, 0x10000\n"), AsmError);       // lui range
+  EXPECT_THROW(assemble("main: li\n"), AsmError);                     // no operands
+  EXPECT_THROW(assemble("main: addu $t0, $t1, 5\n"), AsmError);       // reg expected
+  EXPECT_THROW(assemble("main: lw $t0, 4($t1\n"), AsmError);          // missing ')'
+  EXPECT_THROW(assemble("main: beq $t0, $t1, 3\n"), AsmError);        // unaligned target
+  EXPECT_THROW(assemble("main: subiu $t0, $t1, -32768\n"), AsmError); // negated overflow
+}
+
+TEST(AsmErrors, ColumnsInMessages) {
+  try {
+    assemble("main: nop\n bogus_mnemonic $t0\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(AsmLayout, AlignPadsWithZeros) {
+  const Program p = assemble(R"(
+        .data
+a:      .byte 1
+        .align 3
+b:      .word 2
+        .text
+main:   nop
+)");
+  EXPECT_EQ(p.symbol("b") % 8, 0u);
+  mem::Memory m;
+  p.load_into(m);
+  EXPECT_EQ(m.read8(p.symbol("a") + 1), 0u);  // padding is zero
+}
+
+TEST(AsmLayout, HalfAndWordAutoAlign) {
+  const Program p = assemble(R"(
+        .data
+a:      .byte 1
+h:      .half 2
+        .byte 3
+w:      .word 4
+        .text
+main:   nop
+)");
+  EXPECT_EQ(p.symbol("h") % 2, 0u);
+  EXPECT_EQ(p.symbol("w") % 4, 0u);
+}
+
+TEST(AsmStrings, AsciiVsAsciiz) {
+  const Program p = assemble(R"(
+        .data
+a:      .ascii "ab"
+b:      .asciiz "cd"
+c:      .byte 9
+        .text
+main:   nop
+)");
+  EXPECT_EQ(p.symbol("b") - p.symbol("a"), 2u);  // no NUL after .ascii
+  EXPECT_EQ(p.symbol("c") - p.symbol("b"), 3u);  // NUL after .asciiz
+}
+
+}  // namespace
+}  // namespace dim::asmblr

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/lexer.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "mem/memory.hpp"
+
+namespace dim::asmblr {
+namespace {
+
+using isa::Op;
+
+// Assembles and returns the decoded instruction words of the text segment.
+std::vector<isa::Instr> text_of(const std::string& source) {
+  const Program p = assemble(source);
+  const Segment& text = p.segments[0];
+  std::vector<isa::Instr> out;
+  for (size_t off = 0; off + 4 <= text.bytes.size(); off += 4) {
+    const uint32_t word = static_cast<uint32_t>(text.bytes[off]) |
+                          (static_cast<uint32_t>(text.bytes[off + 1]) << 8) |
+                          (static_cast<uint32_t>(text.bytes[off + 2]) << 16) |
+                          (static_cast<uint32_t>(text.bytes[off + 3]) << 24);
+    out.push_back(isa::decode(word));
+  }
+  return out;
+}
+
+TEST(Lexer, TokenKinds) {
+  auto toks = lex_line("label: addiu $t0, $t1, -42 # comment", 1);
+  ASSERT_EQ(toks.size(), 9u);  // ident colon ident reg comma reg comma number end
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "label");
+  EXPECT_EQ(toks[1].kind, TokKind::kColon);
+  EXPECT_EQ(toks[3].kind, TokKind::kReg);
+  EXPECT_EQ(toks[3].text, "$t0");
+  EXPECT_EQ(toks[7].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[7].value, -42);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, HexCharAndString) {
+  auto toks = lex_line(".word 0xDEADBEEF, 'A', '\\n'", 1);
+  EXPECT_EQ(toks[1].value, 0xDEADBEEF);
+  EXPECT_EQ(toks[3].value, 'A');
+  EXPECT_EQ(toks[5].value, '\n');
+  auto stoks = lex_line(".asciiz \"hi\\tthere\"", 2);
+  EXPECT_EQ(stoks[1].kind, TokKind::kString);
+  EXPECT_EQ(stoks[1].text, "hi\tthere");
+}
+
+TEST(Lexer, SlashSlashComment) {
+  auto toks = lex_line("nop // trailing", 1);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "nop");
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(lex_line("\"unterminated", 3), AsmError);
+  EXPECT_THROW(lex_line("'ab'", 3), AsmError);
+  EXPECT_THROW(lex_line("addiu $t0, $t1, @", 3), AsmError);
+}
+
+TEST(Assembler, RTypeEncodings) {
+  auto text = text_of("main: addu $t0, $t1, $t2\n sub $s0, $s1, $s2\n sll $t0, $t1, 5\n");
+  ASSERT_EQ(text.size(), 3u);
+  EXPECT_EQ(text[0].op, Op::kAddu);
+  EXPECT_EQ(text[0].rd, 8);
+  EXPECT_EQ(text[0].rs, 9);
+  EXPECT_EQ(text[0].rt, 10);
+  EXPECT_EQ(text[1].op, Op::kSub);
+  EXPECT_EQ(text[2].op, Op::kSll);
+  EXPECT_EQ(text[2].shamt, 5);
+}
+
+TEST(Assembler, MemoryOperands) {
+  auto text = text_of("main: lw $t0, -8($sp)\n sw $t1, 12($gp)\n lbu $t2, 0($a0)\n");
+  EXPECT_EQ(text[0].op, Op::kLw);
+  EXPECT_EQ(text[0].simm(), -8);
+  EXPECT_EQ(text[0].rs, 29);
+  EXPECT_EQ(text[1].op, Op::kSw);
+  EXPECT_EQ(text[1].simm(), 12);
+  EXPECT_EQ(text[2].op, Op::kLbu);
+}
+
+TEST(Assembler, BranchOffsets) {
+  auto text = text_of(
+      "main: beq $t0, $t1, fwd\n"
+      " nop\n"
+      "fwd: bne $t0, $t1, main\n");
+  EXPECT_EQ(text[0].op, Op::kBeq);
+  EXPECT_EQ(text[0].simm(), 1);  // one instruction forward past the delay-free next
+  EXPECT_EQ(text[2].op, Op::kBne);
+  EXPECT_EQ(text[2].simm(), -3);
+}
+
+TEST(Assembler, JumpTargets) {
+  const Program p = assemble("main: j main\n jal main\n");
+  auto text = text_of("main: j main\n jal main\n");
+  EXPECT_EQ(text[0].op, Op::kJ);
+  EXPECT_EQ(text[0].target26 << 2, p.entry & 0x0FFFFFFF);
+}
+
+TEST(Assembler, LiExpansion) {
+  auto text = text_of("main: li $t0, 100\n li $t1, 40000\n li $t2, 0x12345678\n li $t3, -5\n");
+  ASSERT_EQ(text.size(), 5u);
+  EXPECT_EQ(text[0].op, Op::kAddiu);   // small signed
+  EXPECT_EQ(text[0].simm(), 100);
+  EXPECT_EQ(text[1].op, Op::kOri);     // fits unsigned 16
+  EXPECT_EQ(text[1].uimm(), 40000u);
+  EXPECT_EQ(text[2].op, Op::kLui);     // 32-bit: lui+ori
+  EXPECT_EQ(text[2].uimm(), 0x1234u);
+  EXPECT_EQ(text[3].op, Op::kOri);
+  EXPECT_EQ(text[3].uimm(), 0x5678u);
+  EXPECT_EQ(text[4].op, Op::kAddiu);   // negative small
+  EXPECT_EQ(text[4].simm(), -5);
+}
+
+TEST(Assembler, LaAlwaysTwoWords) {
+  const Program p = assemble("        .data\nv:      .word 7\n        .text\nmain:   la $t0, v\n");
+  EXPECT_EQ(p.symbol("v"), 0x10010000u);
+  auto text = text_of("        .data\nv:      .word 7\n        .text\nmain:   la $t0, v\n");
+  ASSERT_EQ(text.size(), 2u);
+  EXPECT_EQ(text[0].op, Op::kLui);
+  EXPECT_EQ(text[0].uimm(), 0x1001u);
+  EXPECT_EQ(text[1].op, Op::kOri);
+  EXPECT_EQ(text[1].uimm(), 0x0000u);
+}
+
+TEST(Assembler, ComparisonPseudos) {
+  auto text = text_of("main: blt $t0, $t1, main\n bge $t0, $t1, main\n bgtu $t0, $t1, main\n");
+  ASSERT_EQ(text.size(), 6u);
+  EXPECT_EQ(text[0].op, Op::kSlt);
+  EXPECT_EQ(text[0].rd, 1);  // $at
+  EXPECT_EQ(text[1].op, Op::kBne);
+  EXPECT_EQ(text[2].op, Op::kSlt);
+  EXPECT_EQ(text[3].op, Op::kBeq);
+  EXPECT_EQ(text[4].op, Op::kSltu);
+  EXPECT_EQ(text[4].rs, 9);  // swapped for bgt
+  EXPECT_EQ(text[4].rt, 8);
+}
+
+TEST(Assembler, MulPseudo) {
+  auto text = text_of("main: mul $t0, $t1, $t2\n");
+  ASSERT_EQ(text.size(), 2u);
+  EXPECT_EQ(text[0].op, Op::kMult);
+  EXPECT_EQ(text[1].op, Op::kMflo);
+  EXPECT_EQ(text[1].rd, 8);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(
+      "        .data\n"
+      "w:      .word 1, -2, 0x30\n"
+      "h:      .half 5, 6\n"
+      "b:      .byte 7, 8, 9\n"
+      "        .align 2\n"
+      "s:      .asciiz \"ab\"\n"
+      "sp:     .space 8\n"
+      "        .text\n"
+      "main:   nop\n");
+  mem::Memory m;
+  p.load_into(m);
+  EXPECT_EQ(m.read32(p.symbol("w")), 1u);
+  EXPECT_EQ(static_cast<int32_t>(m.read32(p.symbol("w") + 4)), -2);
+  EXPECT_EQ(m.read32(p.symbol("w") + 8), 0x30u);
+  EXPECT_EQ(m.read16(p.symbol("h")), 5u);
+  EXPECT_EQ(m.read8(p.symbol("b") + 2), 9u);
+  EXPECT_EQ(p.symbol("s") % 4, 0u);  // .align 2
+  EXPECT_EQ(m.read8(p.symbol("s")), 'a');
+  EXPECT_EQ(m.read8(p.symbol("s") + 2), 0u);
+  EXPECT_EQ(p.symbol("sp") - p.symbol("s"), 3u);
+}
+
+TEST(Assembler, WordWithSymbolReference) {
+  const Program p = assemble(
+      "        .data\n"
+      "a:      .word 1\n"
+      "ptr:    .word a, a+4\n"
+      "        .text\n"
+      "main:   nop\n");
+  mem::Memory m;
+  p.load_into(m);
+  EXPECT_EQ(m.read32(p.symbol("ptr")), p.symbol("a"));
+  EXPECT_EQ(m.read32(p.symbol("ptr") + 4), p.symbol("a") + 4);
+}
+
+TEST(Assembler, EntryIsMainOrTextBase) {
+  EXPECT_EQ(assemble("main: nop\n").entry, 0x00400000u);
+  EXPECT_EQ(assemble("nop\nmain: nop\n").entry, 0x00400004u);
+  EXPECT_EQ(assemble("start: nop\n").entry, 0x00400000u);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("main: bogus $t0\n"), AsmError);
+  EXPECT_THROW(assemble("main: addiu $t0, $t1, 100000\n"), AsmError);  // imm range
+  EXPECT_THROW(assemble("main: lw $t0, undefined_sym($t1)\n"), AsmError);
+  EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);  // duplicate label
+  EXPECT_THROW(assemble("main: addu $t0, $t1\n"), AsmError);  // operand count
+  EXPECT_THROW(assemble("main: sll $t0, $t1, 32\n"), AsmError);  // shamt range
+  EXPECT_THROW(assemble(".data\nx: .word 1\n addu $t0, $t1, $t2\n"), AsmError);
+  EXPECT_THROW(assemble("main: lw $t0, some_label\n"), AsmError);  // abs memref
+}
+
+TEST(Assembler, BranchRangeError) {
+  std::string src = "main: beq $t0, $t1, far\n";
+  for (int i = 0; i < 40000; ++i) src += " nop\n";
+  src += "far: nop\n";
+  EXPECT_THROW(assemble(src), AsmError);
+}
+
+TEST(Assembler, ImageRoundTripThroughDisasm) {
+  // Every emitted word must decode to a valid instruction.
+  auto text = text_of(
+      "main: li $t0, 0xABCD1234\n la $t1, main\n move $t2, $t0\n not $t3, $t2\n"
+      " neg $t4, $t3\n b main\n beqz $t0, main\n bnez $t0, main\n nop\n subiu $t5, $t4, 3\n");
+  for (const auto& i : text) {
+    EXPECT_NE(i.op, Op::kInvalid) << isa::disasm(i, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dim::asmblr

@@ -1,0 +1,45 @@
+#include "common/bitutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dim {
+namespace {
+
+TEST(BitUtil, BitsExtractsRanges) {
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 4), 0xFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 4, 4), 0xEu);
+  EXPECT_EQ(bits(0xDEADBEEF, 28, 4), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 32), 0xDEADBEEFu);
+  EXPECT_EQ(bits(0xFFFFFFFF, 31, 1), 1u);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0, 16), 0);
+  EXPECT_EQ(sign_extend(0x2, 2), -2);
+  EXPECT_EQ(sign_extend(0x1, 2), 1);
+}
+
+TEST(BitUtil, ImmediateFits) {
+  EXPECT_TRUE(fits_simm16(-32768));
+  EXPECT_TRUE(fits_simm16(32767));
+  EXPECT_FALSE(fits_simm16(32768));
+  EXPECT_FALSE(fits_simm16(-32769));
+  EXPECT_TRUE(fits_uimm16(0));
+  EXPECT_TRUE(fits_uimm16(65535));
+  EXPECT_FALSE(fits_uimm16(-1));
+  EXPECT_FALSE(fits_uimm16(65536));
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(12, 3), 4);
+}
+
+}  // namespace
+}  // namespace dim

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "bt/rcache.hpp"
+#include "bt/translator.hpp"
+#include "isa/encoder.hpp"
+#include "rra/array_exec.hpp"
+#include "rra/config_io.hpp"
+
+namespace dim::rra {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+Instr imm(Op op, int rt, int rs, int16_t v) {
+  Instr i;
+  i.op = op;
+  i.rt = static_cast<uint8_t>(rt);
+  i.rs = static_cast<uint8_t>(rs);
+  i.imm16 = static_cast<uint16_t>(v);
+  return i;
+}
+
+Configuration sample_config() {
+  bt::TranslatorParams params;
+  bt::ConfigBuilder b(0x400100, params);
+  EXPECT_TRUE(b.try_add(imm(Op::kAddiu, 8, 0, 5), 0x400100));
+  EXPECT_TRUE(b.try_add(imm(Op::kLw, 9, 28, 16), 0x400104));
+  EXPECT_TRUE(b.try_add_branch(imm(Op::kBne, 0, 8, 4), 0x400108, true));
+  EXPECT_TRUE(b.try_add(imm(Op::kSw, 9, 28, 20), 0x40010C));
+  return b.finalize(0x400110);
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+  const Configuration original = sample_config();
+  std::stringstream ss;
+  write_configuration(ss, original);
+  const Configuration loaded = read_configuration(ss);
+
+  EXPECT_EQ(loaded.start_pc, original.start_pc);
+  EXPECT_EQ(loaded.end_pc, original.end_pc);
+  EXPECT_EQ(loaded.num_bbs, original.num_bbs);
+  EXPECT_EQ(loaded.rows_used, original.rows_used);
+  EXPECT_EQ(loaded.input_regs, original.input_regs);
+  EXPECT_EQ(loaded.output_regs, original.output_regs);
+  ASSERT_EQ(loaded.ops.size(), original.ops.size());
+  for (size_t i = 0; i < original.ops.size(); ++i) {
+    EXPECT_EQ(isa::encode(loaded.ops[i].instr), isa::encode(original.ops[i].instr)) << i;
+    EXPECT_EQ(loaded.ops[i].pc, original.ops[i].pc) << i;
+    EXPECT_EQ(loaded.ops[i].row, original.ops[i].row) << i;
+    EXPECT_EQ(loaded.ops[i].col, original.ops[i].col) << i;
+    EXPECT_EQ(loaded.ops[i].bb_index, original.ops[i].bb_index) << i;
+    EXPECT_EQ(loaded.ops[i].is_branch, original.ops[i].is_branch) << i;
+    EXPECT_EQ(loaded.ops[i].predicted_taken, original.ops[i].predicted_taken) << i;
+    EXPECT_EQ(loaded.ops[i].kind, original.ops[i].kind) << i;
+  }
+  ASSERT_EQ(loaded.row_kinds.size(), original.row_kinds.size());
+  for (size_t r = 0; r < original.row_kinds.size(); ++r) {
+    EXPECT_EQ(loaded.row_kinds[r], original.row_kinds[r]);
+  }
+}
+
+TEST(ConfigIo, LoadedConfigExecutesIdentically) {
+  const Configuration original = sample_config();
+  std::stringstream ss;
+  write_configuration(ss, original);
+  const Configuration loaded = read_configuration(ss);
+
+  for (uint32_t t0 : {0u, 5u}) {  // branch both ways
+    sim::CpuState s1, s2;
+    s1.regs[8] = s2.regs[8] = t0;
+    s1.regs[28] = s2.regs[28] = 0x10008000;
+    mem::Memory m1, m2;
+    m1.write32(0x10008010, 77);
+    m2.write32(0x10008010, 77);
+    const ArrayTimingParams timing;
+    const auto o1 = execute_configuration(original, s1, m1, nullptr, timing);
+    const auto o2 = execute_configuration(loaded, s2, m2, nullptr, timing);
+    EXPECT_EQ(o1.next_pc, o2.next_pc);
+    EXPECT_EQ(o1.committed_ops, o2.committed_ops);
+    EXPECT_EQ(o1.total_cycles(), o2.total_cycles());
+    EXPECT_EQ(s1.reg_hash(), s2.reg_hash());
+    EXPECT_EQ(m1.content_hash(), m2.content_hash());
+  }
+}
+
+TEST(ConfigIo, MalformedInputsThrow) {
+  {
+    std::stringstream ss("bogus v1 1 2 3");
+    EXPECT_THROW(read_configuration(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("config v2 0 0 1 0 0 0 0 0\nrowkinds\n");
+    EXPECT_THROW(read_configuration(ss), std::runtime_error);
+  }
+  {
+    // op count promises 1 op but stream ends.
+    std::stringstream ss("config v1 0 16 1 1 0 0 0 1\n");
+    EXPECT_THROW(read_configuration(ss), std::runtime_error);
+  }
+  {
+    // Invalid instruction word (all ones is not decodable).
+    std::stringstream ss("config v1 0 16 1 1 0 0 0 1\nop 4294967295 0 0 0 0 0 0\nrowkinds 0\n");
+    EXPECT_THROW(read_configuration(ss), std::runtime_error);
+  }
+}
+
+TEST(ConfigIo, CacheSaveLoadPreservesFifoOrder) {
+  bt::ReconfigCache cache(8);
+  Configuration a = sample_config();
+  a.start_pc = 0x100;
+  Configuration b = sample_config();
+  b.start_pc = 0x200;
+  cache.insert(a);
+  cache.insert(b);
+
+  std::stringstream ss;
+  save_cache(ss, cache);
+
+  bt::ReconfigCache restored(8);
+  load_cache(ss, restored);
+  ASSERT_EQ(restored.size(), 2u);
+  ASSERT_EQ(restored.fifo_order().size(), 2u);
+  EXPECT_EQ(restored.fifo_order()[0], 0x100u);
+  EXPECT_EQ(restored.fifo_order()[1], 0x200u);
+  EXPECT_NE(restored.peek(0x100), nullptr);
+  EXPECT_EQ(restored.peek(0x100)->ops.size(), a.ops.size());
+}
+
+TEST(ConfigIo, WarmStartSkipsDetection) {
+  // Run once, save the cache; a second system pre-loaded with it activates
+  // the array immediately and performs no insertions of its own for the
+  // already-translated code.
+  const char* src = R"(
+        .data
+buf:    .space 256
+        .text
+main:   la $t0, buf
+        li $t1, 100
+        li $t2, 0
+loop:   sll $t3, $t2, 2
+        andi $t3, $t3, 255
+        addu $t4, $t0, $t3
+        sw $t2, 0($t4)
+        addu $t5, $t5, $t2
+        addiu $t2, $t2, 1
+        bne $t2, $t1, loop
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(src);
+  const auto cfg = accel::SystemConfig::with(ArrayShape::config2(), 64, false);
+
+  accel::AcceleratedSystem cold(prog, cfg);
+  const auto cold_stats = cold.run();
+  std::stringstream ss;
+  save_cache(ss, cold.rcache());
+
+  accel::AcceleratedSystem warm(prog, cfg);
+  load_cache(ss, warm.rcache());
+  const auto warm_stats = warm.run();
+
+  EXPECT_EQ(warm_stats.final_state.reg_hash(), cold_stats.final_state.reg_hash());
+  EXPECT_LE(warm_stats.cycles, cold_stats.cycles);
+  EXPECT_GE(warm_stats.array_instructions, cold_stats.array_instructions);
+}
+
+}  // namespace
+}  // namespace dim::rra

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "isa/instruction.hpp"
+#include "isa/registers.hpp"
+
+namespace dim::isa {
+namespace {
+
+Instr make(Op op, int rs = 0, int rt = 0, int rd = 0, int shamt = 0, uint16_t imm = 0) {
+  Instr i;
+  i.op = op;
+  i.rs = static_cast<uint8_t>(rs);
+  i.rt = static_cast<uint8_t>(rt);
+  i.rd = static_cast<uint8_t>(rd);
+  i.shamt = static_cast<uint8_t>(shamt);
+  i.imm16 = imm;
+  return i;
+}
+
+std::vector<Op> all_ops() {
+  std::vector<Op> ops;
+  for (int raw = 1; raw <= static_cast<int>(Op::kSw); ++raw) ops.push_back(static_cast<Op>(raw));
+  return ops;
+}
+
+TEST(IsaRoundTrip, EncodeDecodePreservesEveryOp) {
+  for (Op op : all_ops()) {
+    Instr i = make(op, 3, 7, 12, 5, 0x1234);
+    if (op == Op::kJ || op == Op::kJal) {
+      i.rs = i.rt = i.rd = 0;
+      i.shamt = 0;
+      i.imm16 = 0;
+      i.target26 = 0x123456;
+    }
+    const Instr d = decode(encode(i));
+    EXPECT_EQ(d.op, i.op) << op_name(op);
+    if (op == Op::kJ || op == Op::kJal) {
+      EXPECT_EQ(d.target26, i.target26);
+      continue;
+    }
+    // REGIMM branches encode the selector in rt, so rt is not free there.
+    const bool regimm = op == Op::kBltz || op == Op::kBgez || op == Op::kBltzal ||
+                        op == Op::kBgezal;
+    EXPECT_EQ(d.rs, i.rs) << op_name(op);
+    if (!regimm) {
+      EXPECT_EQ(d.rt, i.rt) << op_name(op);
+    }
+    // imm16 survives only on I-form encodings (R-type packs rd/shamt/funct
+    // in those bits).
+    const bool i_form = is_branch(op) || is_load(op) || is_store(op) ||
+                        op == Op::kAddi || op == Op::kAddiu || op == Op::kSlti ||
+                        op == Op::kSltiu || op == Op::kAndi || op == Op::kOri ||
+                        op == Op::kXori || op == Op::kLui;
+    if (i_form) {
+      EXPECT_EQ(d.imm16, i.imm16) << op_name(op);
+    }
+    // And the canonical encoding is always stable.
+    EXPECT_EQ(encode(decode(encode(i))), encode(i)) << op_name(op);
+  }
+}
+
+TEST(IsaRoundTrip, DecodeEncodeIsStableOnRandomWords) {
+  uint32_t seed = 12345;
+  int valid = 0;
+  for (int n = 0; n < 200000; ++n) {
+    seed = seed * 1664525u + 1013904223u;
+    const Instr i = decode(seed);
+    if (i.op == Op::kInvalid) continue;
+    ++valid;
+    const Instr j = decode(encode(i));
+    EXPECT_EQ(j.op, i.op);
+    EXPECT_EQ(j.rs, i.rs);
+    EXPECT_EQ(j.rt, i.rt);
+    // rd/shamt only matter on R-type ops; encode zeroes don't-cares.
+    EXPECT_EQ(encode(j), encode(i));
+  }
+  EXPECT_GT(valid, 1000);  // sanity: the decoder accepts a fair fraction
+}
+
+TEST(IsaClassify, Groups) {
+  EXPECT_TRUE(is_branch(Op::kBeq));
+  EXPECT_TRUE(is_branch(Op::kBgezal));
+  EXPECT_FALSE(is_branch(Op::kJ));
+  EXPECT_TRUE(is_jump(Op::kJr));
+  EXPECT_TRUE(is_jump(Op::kJal));
+  EXPECT_FALSE(is_jump(Op::kBne));
+  EXPECT_TRUE(is_load(Op::kLbu));
+  EXPECT_FALSE(is_load(Op::kSb));
+  EXPECT_TRUE(is_store(Op::kSh));
+  EXPECT_TRUE(is_mult_div(Op::kDivu));
+  EXPECT_TRUE(is_hilo_read(Op::kMflo));
+  EXPECT_TRUE(is_shift(Op::kSrav));
+  EXPECT_FALSE(is_shift(Op::kAddu));
+}
+
+TEST(IsaClassify, FuKinds) {
+  EXPECT_EQ(fu_kind(Op::kAddu), FuKind::kAlu);
+  EXPECT_EQ(fu_kind(Op::kLui), FuKind::kAlu);
+  EXPECT_EQ(fu_kind(Op::kSll), FuKind::kAlu);
+  EXPECT_EQ(fu_kind(Op::kMult), FuKind::kMul);
+  EXPECT_EQ(fu_kind(Op::kMultu), FuKind::kMul);
+  EXPECT_EQ(fu_kind(Op::kLw), FuKind::kLdSt);
+  EXPECT_EQ(fu_kind(Op::kSb), FuKind::kLdSt);
+  EXPECT_EQ(fu_kind(Op::kDiv), FuKind::kNone);   // no divider in the array
+  EXPECT_EQ(fu_kind(Op::kJr), FuKind::kNone);
+  EXPECT_EQ(fu_kind(Op::kSyscall), FuKind::kNone);
+}
+
+TEST(IsaClassify, DimSupport) {
+  EXPECT_TRUE(dim_supported(Op::kAddu));
+  EXPECT_TRUE(dim_supported(Op::kMult));
+  EXPECT_TRUE(dim_supported(Op::kSw));
+  EXPECT_FALSE(dim_supported(Op::kDiv));
+  EXPECT_FALSE(dim_supported(Op::kSyscall));
+  EXPECT_FALSE(dim_supported(Op::kJal));
+  EXPECT_FALSE(dim_supported(Op::kBeq));  // branches handled via speculation
+}
+
+TEST(IsaRegs, DestReg) {
+  EXPECT_EQ(dest_reg(make(Op::kAddu, 1, 2, 3)), 3);
+  EXPECT_EQ(dest_reg(make(Op::kAddu, 1, 2, 0)), -1);  // writes to $zero drop
+  EXPECT_EQ(dest_reg(make(Op::kAddiu, 1, 5)), 5);
+  EXPECT_EQ(dest_reg(make(Op::kLw, 1, 9)), 9);
+  EXPECT_EQ(dest_reg(make(Op::kSw, 1, 9)), -1);
+  EXPECT_EQ(dest_reg(make(Op::kJal)), 31);
+  EXPECT_EQ(dest_reg(make(Op::kMflo, 0, 0, 8)), 8);
+  EXPECT_EQ(dest_reg(make(Op::kMult, 1, 2)), -1);  // writes HI/LO, not a GPR
+}
+
+TEST(IsaRegs, SrcRegs) {
+  int out[2];
+  EXPECT_EQ(src_regs(make(Op::kAddu, 1, 2, 3), out), 2);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(src_regs(make(Op::kSll, 0, 2, 3, 4), out), 1);
+  EXPECT_EQ(out[0], 2);  // shamt shifts read rt only
+  EXPECT_EQ(src_regs(make(Op::kSllv, 1, 2, 3), out), 2);
+  EXPECT_EQ(src_regs(make(Op::kLw, 7, 9), out), 1);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(src_regs(make(Op::kSw, 7, 9), out), 2);
+  EXPECT_EQ(src_regs(make(Op::kLui, 0, 9), out), 0);
+  EXPECT_EQ(src_regs(make(Op::kJal), out), 0);
+}
+
+TEST(IsaRegisters, ParseNames) {
+  EXPECT_EQ(parse_reg("$zero"), 0);
+  EXPECT_EQ(parse_reg("$at"), 1);
+  EXPECT_EQ(parse_reg("$v0"), 2);
+  EXPECT_EQ(parse_reg("$a3"), 7);
+  EXPECT_EQ(parse_reg("$t0"), 8);
+  EXPECT_EQ(parse_reg("$t8"), 24);
+  EXPECT_EQ(parse_reg("$s0"), 16);
+  EXPECT_EQ(parse_reg("$sp"), 29);
+  EXPECT_EQ(parse_reg("$fp"), 30);
+  EXPECT_EQ(parse_reg("$s8"), 30);
+  EXPECT_EQ(parse_reg("$ra"), 31);
+  EXPECT_EQ(parse_reg("$0"), 0);
+  EXPECT_EQ(parse_reg("$31"), 31);
+  EXPECT_FALSE(parse_reg("$32").has_value());
+  EXPECT_FALSE(parse_reg("$xy").has_value());
+  EXPECT_FALSE(parse_reg("t0").has_value());
+  EXPECT_FALSE(parse_reg("$").has_value());
+}
+
+TEST(IsaRegisters, NamesRoundTrip) {
+  for (int r = 0; r < 32; ++r) {
+    EXPECT_EQ(parse_reg(reg_name(r)), r);
+  }
+}
+
+TEST(IsaDisasm, SpotChecks) {
+  EXPECT_EQ(disasm(make(Op::kAddu, 9, 10, 8), 0), "addu $t0, $t1, $t2");
+  EXPECT_EQ(disasm(make(Op::kSll, 0, 9, 8, 2), 0), "sll $t0, $t1, 2");
+  Instr lw = make(Op::kLw, 29, 8);
+  lw.imm16 = static_cast<uint16_t>(-4);
+  EXPECT_EQ(disasm(lw, 0), "lw $t0, -4($sp)");
+  Instr beq = make(Op::kBeq, 8, 9);
+  beq.imm16 = 3;
+  EXPECT_EQ(disasm(beq, 0x100), "beq $t0, $t1, 0x110");
+  EXPECT_EQ(disasm(make(Op::kSyscall), 0), "syscall");
+}
+
+}  // namespace
+}  // namespace dim::isa

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+
+namespace dim::mem {
+namespace {
+
+TEST(Memory, ReadsZeroWhenUntouched) {
+  Memory m;
+  EXPECT_EQ(m.read8(0), 0u);
+  EXPECT_EQ(m.read32(0x12345678), 0u);
+  EXPECT_EQ(m.pages_allocated(), 0u);
+}
+
+TEST(Memory, ByteHalfWordRoundTrip) {
+  Memory m;
+  m.write8(100, 0xAB);
+  m.write16(200, 0xCDEF);
+  m.write32(300, 0x01234567);
+  EXPECT_EQ(m.read8(100), 0xAB);
+  EXPECT_EQ(m.read16(200), 0xCDEF);
+  EXPECT_EQ(m.read32(300), 0x01234567u);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory m;
+  m.write32(0x1000, 0xAABBCCDD);
+  EXPECT_EQ(m.read8(0x1000), 0xDD);
+  EXPECT_EQ(m.read8(0x1001), 0xCC);
+  EXPECT_EQ(m.read8(0x1002), 0xBB);
+  EXPECT_EQ(m.read8(0x1003), 0xAA);
+  EXPECT_EQ(m.read16(0x1000), 0xCCDD);
+  EXPECT_EQ(m.read16(0x1002), 0xAABB);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory m;
+  const uint32_t boundary = Memory::kPageSize;
+  m.write32(boundary - 2, 0x11223344);
+  EXPECT_EQ(m.read32(boundary - 2), 0x11223344u);
+  EXPECT_EQ(m.read16(boundary - 2), 0x3344u);
+  EXPECT_EQ(m.read16(boundary), 0x1122u);
+  EXPECT_EQ(m.pages_allocated(), 2u);
+}
+
+TEST(Memory, BlockHelpers) {
+  Memory m;
+  const std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  m.write_block(0x2000, data.data(), data.size());
+  EXPECT_EQ(m.read_block(0x2000, 5), data);
+  EXPECT_EQ(m.read8(0x2004), 5u);
+}
+
+TEST(Memory, ContentHashDetectsChanges) {
+  Memory a, b;
+  a.write32(0x1000, 42);
+  b.write32(0x1000, 42);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.write8(0x5000, 1);
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  b.write8(0x5000, 0);  // back to all-zero content in the same page
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  // Identical (zero) content in different pages hashes differently, because
+  // the page address is mixed in.
+  a.write8(5 * Memory::kPageSize, 0);
+  b.write8(9 * Memory::kPageSize, 0);
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(Memory, HashIsIterationOrderIndependent) {
+  Memory a, b;
+  a.write8(0x10000, 1);
+  a.write8(0x50000, 2);
+  b.write8(0x50000, 2);  // reversed allocation order
+  b.write8(0x10000, 1);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+TEST(Cache, DisabledIsFree) {
+  Cache c(CacheParams{});  // enabled = false by default
+  EXPECT_EQ(c.access(0x1234), 0u);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, MissThenHit) {
+  CacheParams p;
+  p.enabled = true;
+  p.size_bytes = 1024;
+  p.line_bytes = 32;
+  p.miss_penalty = 10;
+  Cache c(p);
+  EXPECT_EQ(c.access(0x100), 10u);
+  EXPECT_EQ(c.access(0x104), 0u);  // same line
+  EXPECT_EQ(c.access(0x11F), 0u);
+  EXPECT_EQ(c.access(0x120), 10u);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, ConflictEviction) {
+  CacheParams p;
+  p.enabled = true;
+  p.size_bytes = 64;  // 2 lines of 32
+  p.line_bytes = 32;
+  p.miss_penalty = 7;
+  Cache c(p);
+  EXPECT_EQ(c.access(0x000), 7u);
+  EXPECT_EQ(c.access(0x040), 7u);  // same index, different tag -> evict
+  EXPECT_EQ(c.access(0x000), 7u);  // miss again
+}
+
+TEST(Cache, Reset) {
+  CacheParams p;
+  p.enabled = true;
+  Cache c(p);
+  c.access(0);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_GT(c.access(0), 0u);  // cold again
+}
+
+}  // namespace
+}  // namespace dim::mem

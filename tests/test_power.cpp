@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "power/power_model.hpp"
+
+namespace dim::power {
+namespace {
+
+const char* kProgram = R"(
+        .data
+buf:    .space 1024
+        .text
+main:   la $t0, buf
+        li $t1, 300
+        li $t2, 0
+loop:   sll $t3, $t2, 2
+        andi $t3, $t3, 1020
+        addu $t4, $t0, $t3
+        lw $t5, 0($t4)
+        addu $t5, $t5, $t2
+        sw $t5, 0($t4)
+        addiu $t2, $t2, 1
+        bne $t2, $t1, loop
+        li $v0, 10
+        syscall
+)";
+
+TEST(PowerModel, BaselineHasNoArrayComponents) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto base = accel::baseline_as_stats(prog, sim::MachineConfig{});
+  const EnergyBreakdown e = compute_energy(base, 64);
+  EXPECT_GT(e.core, 0.0);
+  EXPECT_GT(e.imem, 0.0);
+  EXPECT_GT(e.dmem, 0.0);
+  EXPECT_EQ(e.array, 0.0);
+  EXPECT_EQ(e.rcache, 0.0);
+  EXPECT_EQ(e.bt, 0.0);
+}
+
+TEST(PowerModel, AcceleratedSavesEnergyOverall) {
+  // The paper's headline: fewer cycles and far fewer instruction fetches
+  // outweigh the added array/cache/BT consumption.
+  const auto prog = asmblr::assemble(kProgram);
+  const auto r = accel::measure_speedup(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  const double base = compute_energy(r.baseline, 64).total();
+  const double accel = compute_energy(r.accelerated, 64).total();
+  EXPECT_LT(accel, base);
+}
+
+TEST(PowerModel, AcceleratedBurnsLessInstructionMemory) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto r = accel::measure_speedup(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  const EnergyBreakdown be = compute_energy(r.baseline, 64);
+  const EnergyBreakdown ae = compute_energy(r.accelerated, 64);
+  EXPECT_LT(ae.imem, be.imem);  // array-resident instructions are not fetched
+  EXPECT_GT(ae.array + ae.rcache + ae.bt, 0.0);
+}
+
+TEST(PowerModel, PowerPerCycleIsEnergyOverCycles) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto st = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  const EnergyBreakdown e = compute_energy(st, 64);
+  const EnergyBreakdown p = compute_power_per_cycle(st, 64);
+  const double cycles = static_cast<double>(st.cycles);
+  EXPECT_NEAR(p.total(), e.total() / cycles, 1e-9);
+  EXPECT_NEAR(p.core, e.core / cycles, 1e-12);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto st = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config1(), 16, false));
+  const EnergyBreakdown e = compute_energy(st, 16);
+  EXPECT_NEAR(e.total(), e.core + e.imem + e.dmem + e.array + e.rcache + e.bt, 1e-9);
+}
+
+TEST(PowerModel, MoreCacheSlotsCostMoreStaticEnergy) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto st = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  EXPECT_LT(compute_energy(st, 16).rcache, compute_energy(st, 256).rcache);
+}
+
+TEST(PowerModel, PowerGatingReducesArrayEnergyOnly) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto st = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  EnergyParams p;
+  const EnergyBreakdown ungated = compute_energy(st, 64, p);
+  p.power_gating_efficiency = 0.9;
+  const EnergyBreakdown gated = compute_energy(st, 64, p);
+  EXPECT_LT(gated.array, ungated.array);
+  EXPECT_EQ(gated.core, ungated.core);
+  EXPECT_EQ(gated.imem, ungated.imem);
+  EXPECT_EQ(gated.rcache, ungated.rcache);
+  // Full gating removes exactly the idle component.
+  p.power_gating_efficiency = 1.0;
+  const EnergyBreakdown fully = compute_energy(st, 64, p);
+  const double idle = static_cast<double>(st.cycles - st.array_cycles);
+  EXPECT_NEAR(ungated.array - fully.array, idle * p.array_idle_cycle, 1e-6);
+}
+
+TEST(PowerModel, CustomParamsScaleLinearly) {
+  const auto prog = asmblr::assemble(kProgram);
+  const auto base = accel::baseline_as_stats(prog, sim::MachineConfig{});
+  EnergyParams p;
+  const double e1 = compute_energy(base, 64, p).imem;
+  p.imem_fetch *= 2.0;
+  EXPECT_NEAR(compute_energy(base, 64, p).imem, 2.0 * e1, 1e-9);
+}
+
+}  // namespace
+}  // namespace dim::power

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "bt/predictor.hpp"
+
+namespace dim::bt {
+namespace {
+
+TEST(Predictor, StartsWeaklyNotTaken) {
+  BimodalPredictor p;
+  EXPECT_EQ(p.counter(0x100), 1);
+  EXPECT_FALSE(p.predict(0x100));
+  EXPECT_FALSE(p.saturated_direction(0x100).has_value());
+}
+
+TEST(Predictor, SaturatesUp) {
+  BimodalPredictor p;
+  p.update(0x100, true);
+  EXPECT_EQ(p.counter(0x100), 2);
+  EXPECT_TRUE(p.predict(0x100));
+  EXPECT_FALSE(p.saturated_direction(0x100).has_value());
+  p.update(0x100, true);
+  EXPECT_EQ(p.counter(0x100), 3);
+  ASSERT_TRUE(p.saturated_direction(0x100).has_value());
+  EXPECT_TRUE(*p.saturated_direction(0x100));
+  p.update(0x100, true);  // stays saturated
+  EXPECT_EQ(p.counter(0x100), 3);
+}
+
+TEST(Predictor, SaturatesDown) {
+  BimodalPredictor p;
+  p.update(0x200, false);
+  EXPECT_EQ(p.counter(0x200), 0);
+  ASSERT_TRUE(p.saturated_direction(0x200).has_value());
+  EXPECT_FALSE(*p.saturated_direction(0x200));
+  p.update(0x200, false);
+  EXPECT_EQ(p.counter(0x200), 0);
+}
+
+TEST(Predictor, HysteresisOnAlternation) {
+  BimodalPredictor p;
+  p.update(0x300, true);
+  p.update(0x300, true);  // 3
+  p.update(0x300, false);  // 2 — still predicts taken
+  EXPECT_TRUE(p.predict(0x300));
+  EXPECT_FALSE(p.saturated_direction(0x300).has_value());
+  p.update(0x300, false);  // 1
+  p.update(0x300, false);  // 0
+  EXPECT_FALSE(p.predict(0x300));
+  EXPECT_TRUE(p.saturated_direction(0x300).has_value());
+}
+
+TEST(Predictor, IndependentPerBranch) {
+  BimodalPredictor p;
+  p.update(0x100, true);
+  p.update(0x100, true);
+  EXPECT_TRUE(p.predict(0x100));
+  EXPECT_FALSE(p.predict(0x104));
+  EXPECT_EQ(p.tracked_branches(), 1u);
+  p.update(0x104, false);
+  EXPECT_EQ(p.tracked_branches(), 2u);
+}
+
+TEST(Predictor, Reset) {
+  BimodalPredictor p;
+  p.update(0x100, true);
+  p.reset();
+  EXPECT_EQ(p.counter(0x100), 1);
+  EXPECT_EQ(p.tracked_branches(), 0u);
+}
+
+}  // namespace
+}  // namespace dim::bt

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "prof/bb_profiler.hpp"
+#include "sim/machine.hpp"
+
+namespace dim::prof {
+namespace {
+
+BbProfiler profile(const std::string& src) {
+  const asmblr::Program p = asmblr::assemble(src);
+  sim::Machine m(p);
+  BbProfiler prof;
+  m.run([&prof](const sim::StepInfo& info) { prof.observe(info); });
+  return prof;
+}
+
+TEST(Profiler, CountsBlocksOfSimpleLoop) {
+  // 10 iterations of a 3-instruction block (incl. branch) + 2-instr prologue
+  // + epilogue.
+  BbProfiler prof = profile(R"(
+main:   li $t0, 10
+        li $t1, 0
+loop:   addu $t1, $t1, $t0
+        addiu $t0, $t0, -1
+        bnez $t0, loop
+        li $v0, 10
+        syscall
+)");
+  EXPECT_EQ(prof.total_instructions(), 2u + 30u + 2u);
+  EXPECT_EQ(prof.conditional_branches(), 10u);
+  // Blocks: prologue+first loop body (one block: entry..first branch), loop
+  // body x9, epilogue.
+  EXPECT_EQ(prof.distinct_blocks(), 3u);
+  const auto blocks = prof.blocks_by_weight();
+  EXPECT_EQ(blocks[0].executions, 9u);  // the re-entered loop body dominates
+}
+
+TEST(Profiler, InstructionsPerBranch) {
+  BbProfiler prof = profile(R"(
+main:   li $t0, 100
+loop:   addiu $t0, $t0, -1
+        nop
+        nop
+        nop
+        bnez $t0, loop
+        li $v0, 10
+        syscall
+)");
+  // 100 branch executions, 1 + 500 + 2 instructions.
+  EXPECT_NEAR(prof.instructions_per_branch(), 503.0 / 100.0, 1e-9);
+  EXPECT_GT(prof.average_block_length(), 3.0);
+}
+
+TEST(Profiler, CoverageCurveOfSkewedExecution) {
+  // One hot loop (~95% of time) plus a cold tail: 1 block must already
+  // cover >90%.
+  BbProfiler prof = profile(R"(
+main:   li $t0, 500
+hot:    addiu $t0, $t0, -1
+        nop
+        nop
+        bnez $t0, hot
+        li $t1, 3
+cold:   addiu $t1, $t1, -1
+        bnez $t1, cold
+        li $v0, 10
+        syscall
+)");
+  EXPECT_EQ(prof.blocks_to_cover(0.90), 1);
+  EXPECT_GE(prof.blocks_to_cover(1.00), 3);
+}
+
+TEST(Profiler, JumpsAlsoDelimitBlocks) {
+  BbProfiler prof = profile(R"(
+main:   li $t0, 1
+        j next
+next:   li $t1, 2
+        li $v0, 10
+        syscall
+)");
+  EXPECT_EQ(prof.control_transfers(), 1u);
+  EXPECT_EQ(prof.conditional_branches(), 0u);
+  EXPECT_EQ(prof.distinct_blocks(), 2u);  // up to j, and the halting tail
+}
+
+TEST(Profiler, EmptyProfile) {
+  BbProfiler prof;
+  EXPECT_EQ(prof.blocks_to_cover(0.5), 0);
+  EXPECT_EQ(prof.average_block_length(), 0.0);
+  EXPECT_EQ(prof.distinct_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace dim::prof

@@ -1,0 +1,179 @@
+// Property-based testing: random programs through the whole stack. The
+// paper's transparency claim must hold for ANY program, not just the
+// benchmark suite — baseline and accelerated runs must reach bit-identical
+// architectural state under every array/cache/speculation setting.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <tuple>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "work/workload.hpp"
+
+namespace dim::accel {
+namespace {
+
+// Generates a random program: an outer counted loop (so DIM sees reuse)
+// around a body of random basic blocks with forward branches, random ALU
+// ops, multiplies, divisions (unsupported by the array — detection must
+// split around them), aligned loads/stores into a scratch buffer, and
+// occasional calls to a leaf subroutine (jal/jr boundaries).
+std::string random_program(uint32_t seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  // Register pool: $t0..$t7 ($8..$15), $s1..$s3 as data ($17..$19).
+  auto reg = [&] { return "$" + std::to_string(pick(8, 15)); };
+
+  std::ostringstream out;
+  out << "        .data\n";
+  out << "buf:    .space 512\n";
+  out << "        .text\n";
+  out << "main:   la $s0, buf\n";
+  for (int r = 8; r <= 15; ++r) {
+    out << "        li $" << r << ", " << pick(-1000, 1000) << "\n";
+  }
+  out << "        li $s7, " << pick(20, 60) << "\n";  // outer trip count
+  out << "        b body\n";
+  // A leaf subroutine: a short supported sequence, returned from via jr.
+  out << "leaf:   addu $s1, $s1, $t0\n";
+  out << "        xor $s2, $s1, $t1\n";
+  out << "        sll $s3, $s2, 2\n";
+  out << "        jr $ra\n";
+  out << "body:\n";
+
+  const int blocks = pick(2, 6);
+  for (int b = 0; b < blocks; ++b) {
+    const int ops = pick(2, 10);
+    for (int i = 0; i < ops; ++i) {
+      switch (pick(0, 11)) {
+        case 0:
+          out << "        addu " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 1:
+          out << "        subu " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 2:
+          out << "        xor " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 3:
+          out << "        addiu " << reg() << ", " << reg() << ", " << pick(-128, 127) << "\n";
+          break;
+        case 4:
+          out << "        sll " << reg() << ", " << reg() << ", " << pick(0, 7) << "\n";
+          break;
+        case 5:
+          out << "        slt " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 6:
+          out << "        mul " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 7: {  // aligned word store then use
+          out << "        sw " << reg() << ", " << pick(0, 127) * 4 << "($s0)\n";
+          break;
+        }
+        case 8:
+          out << "        lw " << reg() << ", " << pick(0, 127) * 4 << "($s0)\n";
+          break;
+        case 9:
+          out << "        lbu " << reg() << ", " << pick(0, 511) << "($s0)\n";
+          break;
+        case 10:  // division: the array has no divider; detection must split
+          out << "        li $at, " << pick(1, 50) << "\n";
+          out << "        div " << reg() << ", $at\n";
+          out << "        mflo " << reg() << "\n";
+          break;
+        default:  // call the leaf subroutine (jal/jr boundary)
+          out << "        jal leaf\n";
+          break;
+      }
+    }
+    // Forward conditional branch over the next block (varied condition).
+    if (b + 1 < blocks) {
+      const char* ops3[] = {"beq", "bne"};
+      out << "        " << ops3[pick(0, 1)] << " " << reg() << ", " << reg() << ", skip"
+          << b << "\n";
+      const int filler = pick(1, 4);
+      for (int i = 0; i < filler; ++i) {
+        out << "        addiu " << reg() << ", " << reg() << ", 1\n";
+      }
+      out << "skip" << b << ":\n";
+    }
+  }
+  out << "        addiu $s7, $s7, -1\n";
+  out << "        bnez $s7, body\n";
+  // Fold all registers into an output so divergence is observable.
+  out << "        move $a0, $zero\n";
+  for (int r = 8; r <= 15; ++r) out << "        addu $a0, $a0, $" << r << "\n";
+  out << "        li $v0, 1\n        syscall\n        li $v0, 10\n        syscall\n";
+  return out.str();
+}
+
+using FuzzParam = std::tuple<int, bool>;  // (seed, speculation)
+
+class TransparencyFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(TransparencyFuzz, RandomProgramsAreTransparent) {
+  const auto [seed, spec] = GetParam();
+  const std::string src = random_program(static_cast<uint32_t>(seed) * 2654435761u + 1);
+  const asmblr::Program prog = asmblr::assemble(src);
+
+  SystemConfig cfg = SystemConfig::with(
+      seed % 3 == 0   ? rra::ArrayShape::config1()
+      : seed % 3 == 1 ? rra::ArrayShape::config2()
+                      : rra::ArrayShape{6, 3, 1, 1},  // deliberately tiny
+      static_cast<size_t>(seed % 2 ? 4 : 64), spec);
+  const SpeedupResult r = measure_speedup(prog, cfg);
+
+  ASSERT_FALSE(r.baseline.hit_limit) << src;
+  ASSERT_FALSE(r.accelerated.hit_limit);
+  EXPECT_EQ(r.baseline.final_state.output, r.accelerated.final_state.output) << src;
+  EXPECT_EQ(r.baseline.final_state.reg_hash(), r.accelerated.final_state.reg_hash()) << src;
+  EXPECT_EQ(r.baseline.memory_hash, r.accelerated.memory_hash) << src;
+  // The array must never slow the program down.
+  EXPECT_LE(r.accelerated.cycles, r.baseline.cycles) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TransparencyFuzz,
+    ::testing::Combine(::testing::Range(0, 60), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_spec" : "_nospec");
+    });
+
+// Transparency over all real workloads x system settings.
+using WorkloadSetting = std::tuple<std::string, int>;  // (workload, setting id)
+
+class WorkloadTransparency : public ::testing::TestWithParam<WorkloadSetting> {};
+
+TEST_P(WorkloadTransparency, ArchitecturalStateIdentical) {
+  const auto [name, setting] = GetParam();
+  SystemConfig cfg;
+  switch (setting) {
+    case 0: cfg = SystemConfig::with(rra::ArrayShape::config1(), 16, false); break;
+    case 1: cfg = SystemConfig::with(rra::ArrayShape::config2(), 64, true); break;
+    default: cfg = SystemConfig::with(rra::ArrayShape::config3(), 256, true); break;
+  }
+  const auto wl = ::dim::work::make_workload(name, 1);
+  const auto prog = asmblr::assemble(wl.source);
+  const SpeedupResult r = measure_speedup(prog, cfg);
+  EXPECT_EQ(r.accelerated.final_state.output, wl.expected_output);
+  EXPECT_EQ(r.baseline.final_state.reg_hash(), r.accelerated.final_state.reg_hash());
+  EXPECT_EQ(r.baseline.memory_hash, r.accelerated.memory_hash);
+  EXPECT_LE(r.accelerated.cycles, r.baseline.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTransparency,
+    ::testing::Combine(::testing::ValuesIn(::dim::work::workload_names()),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<WorkloadSetting>& info) {
+      return std::get<0>(info.param) + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dim::accel

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "bt/rcache.hpp"
+
+namespace dim::bt {
+namespace {
+
+rra::Configuration cfg(uint32_t pc, int ops = 5) {
+  rra::Configuration c;
+  c.start_pc = pc;
+  c.ops.resize(static_cast<size_t>(ops));
+  return c;
+}
+
+TEST(ReconfigCache, MissThenHit) {
+  ReconfigCache rc(4);
+  EXPECT_EQ(rc.lookup(0x100), nullptr);
+  rc.insert(cfg(0x100));
+  rra::Configuration* c = rc.lookup(0x100);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->start_pc, 0x100u);
+  EXPECT_EQ(rc.hits(), 1u);
+  EXPECT_EQ(rc.misses(), 1u);
+}
+
+TEST(ReconfigCache, FifoEvictionOrder) {
+  ReconfigCache rc(3);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  rc.insert(cfg(0x300));
+  // Hits must NOT refresh FIFO position (unlike LRU).
+  EXPECT_NE(rc.lookup(0x100), nullptr);
+  rc.insert(cfg(0x400));  // evicts 0x100, the oldest inserted
+  EXPECT_EQ(rc.lookup(0x100), nullptr);
+  EXPECT_NE(rc.lookup(0x200), nullptr);
+  EXPECT_EQ(rc.evictions(), 1u);
+  rc.insert(cfg(0x500));  // evicts 0x200
+  EXPECT_EQ(rc.lookup(0x200), nullptr);
+  EXPECT_NE(rc.lookup(0x300), nullptr);
+}
+
+TEST(ReconfigCache, ReplacementKeepsFifoPosition) {
+  ReconfigCache rc(2);
+  rc.insert(cfg(0x100, 5));
+  rc.insert(cfg(0x200, 5));
+  rc.insert(cfg(0x100, 9));  // replaces in place (speculation extension)
+  EXPECT_EQ(rc.size(), 2u);
+  EXPECT_EQ(rc.lookup(0x100)->ops.size(), 9u);
+  rc.insert(cfg(0x300));  // 0x100 is still the oldest -> evicted
+  EXPECT_EQ(rc.lookup(0x100), nullptr);
+  EXPECT_NE(rc.lookup(0x200), nullptr);
+}
+
+TEST(ReconfigCache, Flush) {
+  ReconfigCache rc(4);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  rc.flush(0x100);
+  EXPECT_EQ(rc.lookup(0x100), nullptr);
+  EXPECT_EQ(rc.flushes(), 1u);
+  EXPECT_EQ(rc.size(), 1u);
+  rc.flush(0x999);  // flushing a non-entry is a no-op
+  EXPECT_EQ(rc.flushes(), 1u);
+  // After a flush, capacity is available again without eviction.
+  rc.insert(cfg(0x300));
+  rc.insert(cfg(0x400));
+  rc.insert(cfg(0x500));
+  EXPECT_EQ(rc.evictions(), 0u);
+  EXPECT_EQ(rc.size(), 4u);
+}
+
+TEST(ReconfigCache, FifoOrderExposedForInspection) {
+  ReconfigCache rc(8);
+  rc.insert(cfg(3));
+  rc.insert(cfg(1));
+  rc.insert(cfg(2));
+  ASSERT_EQ(rc.fifo_order().size(), 3u);
+  EXPECT_EQ(rc.fifo_order()[0], 3u);
+  EXPECT_EQ(rc.fifo_order()[1], 1u);
+  EXPECT_EQ(rc.fifo_order()[2], 2u);
+}
+
+TEST(ReconfigCache, ZeroSlotsNeverStores) {
+  ReconfigCache rc(0);
+  rc.insert(cfg(0x100));
+  EXPECT_EQ(rc.lookup(0x100), nullptr);
+  EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST(ReconfigCache, WordsWrittenAccumulates) {
+  ReconfigCache rc(4);
+  rc.insert(cfg(0x100, 5));
+  rc.insert(cfg(0x200, 7));
+  rc.insert(cfg(0x100, 9));  // replacement also writes
+  EXPECT_EQ(rc.words_written(), 21u);
+}
+
+TEST(ReconfigCache, LruHitsRefreshPosition) {
+  ReconfigCache rc(3, Replacement::kLru);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  rc.insert(cfg(0x300));
+  EXPECT_NE(rc.lookup(0x100), nullptr);  // refreshes 0x100
+  rc.insert(cfg(0x400));                 // evicts 0x200, the least recent
+  EXPECT_NE(rc.lookup(0x100), nullptr);
+  EXPECT_EQ(rc.lookup(0x200), nullptr);
+  EXPECT_NE(rc.lookup(0x300), nullptr);
+}
+
+TEST(ReconfigCache, FifoIsTheDefaultPolicy) {
+  ReconfigCache rc(4);
+  EXPECT_EQ(rc.policy(), Replacement::kFifo);
+}
+
+TEST(ReconfigCache, PeekHasNoSideEffects) {
+  ReconfigCache rc(2, Replacement::kLru);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  EXPECT_NE(rc.peek(0x100), nullptr);  // must NOT refresh recency
+  EXPECT_EQ(rc.hits(), 0u);
+  rc.insert(cfg(0x300));  // evicts 0x100 (peek did not protect it)
+  EXPECT_EQ(rc.peek(0x100), nullptr);
+  EXPECT_NE(rc.peek(0x200), nullptr);
+}
+
+TEST(ReconfigCache, ContainsDoesNotCountStats) {
+  ReconfigCache rc(4);
+  rc.insert(cfg(0x100));
+  EXPECT_TRUE(rc.contains(0x100));
+  EXPECT_FALSE(rc.contains(0x200));
+  EXPECT_EQ(rc.hits(), 0u);
+  EXPECT_EQ(rc.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace dim::bt

@@ -1,0 +1,91 @@
+// Timing-regression goldens: the exact cycle counts of every workload at
+// the reference setting are pinned. The simulator is deterministic, so any
+// drift means a (possibly unintended) timing-model change — update the
+// table only when the change is deliberate and understood.
+//
+// Regenerate the table with the snippet in the comment at the bottom.
+#include <gtest/gtest.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "work/workload.hpp"
+
+namespace dim::accel {
+namespace {
+
+struct Golden {
+  const char* name;
+  uint64_t baseline_cycles;
+  uint64_t accel_cycles;  // C#2, 64 slots, speculation
+};
+
+constexpr Golden kGoldens[] = {
+    {"rijndael_e", 215869ull, 94246ull},
+    {"rijndael_d", 259537ull, 174979ull},
+    {"gsm_e", 624013ull, 161442ull},
+    {"jpeg_e", 863695ull, 291338ull},
+    {"sha", 407010ull, 123656ull},
+    {"susan_s", 959878ull, 512417ull},
+    {"crc32", 172041ull, 61503ull},
+    {"jpeg_d", 781007ull, 204894ull},
+    {"patricia", 831776ull, 364345ull},
+    {"susan_c", 1021225ull, 576547ull},
+    {"susan_e", 506417ull, 296404ull},
+    {"dijkstra", 773928ull, 384462ull},
+    {"gsm_d", 574612ull, 205534ull},
+    {"bitcount", 1175063ull, 359144ull},
+    {"stringsearch", 3785678ull, 1745893ull},
+    {"quicksort", 388068ull, 221222ull},
+    {"rawaudio_e", 828628ull, 427055ull},
+    {"rawaudio_d", 563067ull, 311168ull},
+};
+
+class TimingGolden : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(TimingGolden, CycleCountsPinned) {
+  const Golden& g = GetParam();
+  const auto wl = work::make_workload(g.name, 1);
+  const auto prog = asmblr::assemble(wl.source);
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+  const auto st =
+      run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  EXPECT_EQ(base.cycles, g.baseline_cycles) << g.name;
+  EXPECT_EQ(st.cycles, g.accel_cycles) << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TimingGolden, ::testing::ValuesIn(kGoldens),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  const auto wl = work::make_workload("gsm_e", 1);
+  const auto prog = asmblr::assemble(wl.source);
+  const auto cfg = SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  const auto a = run_accelerated(prog, cfg);
+  const auto b = run_accelerated(prog, cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.array_activations, b.array_activations);
+  EXPECT_EQ(a.misspeculations, b.misspeculations);
+  EXPECT_EQ(a.memory_hash, b.memory_hash);
+  EXPECT_EQ(a.final_state.reg_hash(), b.final_state.reg_hash());
+}
+
+TEST(Determinism, WorkloadSourceIsStable) {
+  // Workload generation itself must be deterministic (embedded data comes
+  // from fixed LCG seeds).
+  const auto a = work::make_workload("jpeg_e", 1);
+  const auto b = work::make_workload("jpeg_e", 1);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.expected_output, b.expected_output);
+}
+
+// Regenerate kGoldens:
+//   for each name in work::workload_names():
+//     base  = baseline_as_stats(assemble(make_workload(name).source), {})
+//     accel = run_accelerated(..., SystemConfig::with(config2(), 64, true))
+//     print {name, base.cycles, accel.cycles}
+
+}  // namespace
+}  // namespace dim::accel

@@ -1,0 +1,120 @@
+// The related-work emulation knobs: CCA-style FU restrictions and
+// warp-style kernel-only translation must stay transparent and behave as
+// documented.
+#include <gtest/gtest.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "bt/translator.hpp"
+#include "prof/bb_profiler.hpp"
+#include "sim/machine.hpp"
+#include "work/workload.hpp"
+
+namespace dim::accel {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+Instr imm(Op op, int rt, int rs, int16_t v) {
+  Instr i;
+  i.op = op;
+  i.rt = static_cast<uint8_t>(rt);
+  i.rs = static_cast<uint8_t>(rs);
+  i.imm16 = static_cast<uint16_t>(v);
+  return i;
+}
+
+TEST(CcaMode, BuilderRejectsRestrictedOps) {
+  bt::TranslatorParams p;
+  p.allow_mem = false;
+  p.allow_shifts = false;
+  p.allow_mult = false;
+  bt::ConfigBuilder b(0x100, p);
+  EXPECT_TRUE(b.try_add(imm(Op::kAddiu, 8, 0, 1), 0x100));
+  EXPECT_FALSE(b.try_add(imm(Op::kLw, 9, 28, 0), 0x104));
+  Instr sll;
+  sll.op = Op::kSll;
+  sll.rd = 9;
+  sll.rt = 8;
+  sll.shamt = 2;
+  EXPECT_FALSE(b.try_add(sll, 0x104));
+  Instr mult;
+  mult.op = Op::kMult;
+  mult.rs = 8;
+  mult.rt = 8;
+  EXPECT_FALSE(b.try_add(mult, 0x104));
+  Instr mflo;
+  mflo.op = Op::kMflo;
+  mflo.rd = 9;
+  EXPECT_FALSE(b.try_add(mflo, 0x104));
+  EXPECT_EQ(b.size(), 1);
+}
+
+TEST(CcaMode, TransparentButWeakerOnMemoryCode) {
+  const auto wl = work::make_workload("crc32", 1);
+  const auto prog = asmblr::assemble(wl.source);
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+
+  SystemConfig cca = SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  cca.allow_mem = false;
+  cca.allow_shifts = false;
+  cca.allow_mult = false;
+  cca.max_input_regs = 4;
+  cca.max_output_regs = 2;
+  const auto st = run_accelerated(prog, cca);
+  EXPECT_EQ(st.final_state.output, wl.expected_output);
+  EXPECT_EQ(st.memory_hash, base.memory_hash);
+
+  const auto full = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  // CRC32's loop is load+shift dominated: the restricted array must cover
+  // far less of it.
+  EXPECT_LT(st.array_instructions, full.array_instructions / 2);
+}
+
+TEST(WarpMode, OnlyAllowedStartsTranslate) {
+  const auto wl = work::make_workload("bitcount", 1);
+  const auto prog = asmblr::assemble(wl.source);
+
+  // Profile for hot block leaders.
+  sim::Machine machine(prog);
+  prof::BbProfiler profiler;
+  machine.run([&profiler](const sim::StepInfo& info) { profiler.observe(info); });
+  const auto hot = profiler.blocks_by_weight();
+  ASSERT_GE(hot.size(), 3u);
+
+  SystemConfig one = SystemConfig::with(rra::ArrayShape::config2(), 64, false);
+  one.allowed_starts.insert(hot[0].start_pc);
+  const auto st_one = run_accelerated(prog, one);
+
+  SystemConfig all = SystemConfig::with(rra::ArrayShape::config2(), 64, false);
+  const auto st_all = run_accelerated(prog, all);
+
+  EXPECT_EQ(st_one.final_state.output, st_all.final_state.output);
+  EXPECT_LE(st_one.rcache_insertions, 2u);  // at most the one allowed start
+  EXPECT_LT(st_one.array_instructions, st_all.array_instructions);
+  EXPECT_GE(st_one.cycles, st_all.cycles);
+}
+
+TEST(WarpMode, CoverageGrowsWithK) {
+  const auto wl = work::make_workload("jpeg_d", 1);
+  const auto prog = asmblr::assemble(wl.source);
+  sim::Machine machine(prog);
+  prof::BbProfiler profiler;
+  machine.run([&profiler](const sim::StepInfo& info) { profiler.observe(info); });
+  const auto hot = profiler.blocks_by_weight();
+
+  uint64_t prev_array = 0;
+  for (size_t k : {size_t{1}, size_t{4}, size_t{12}}) {
+    SystemConfig cfg = SystemConfig::with(rra::ArrayShape::config2(), 64, false);
+    for (size_t i = 0; i < k && i < hot.size(); ++i) {
+      cfg.allowed_starts.insert(hot[i].start_pc);
+    }
+    const auto st = run_accelerated(prog, cfg);
+    EXPECT_GE(st.array_instructions, prev_array);
+    prev_array = st.array_instructions;
+  }
+}
+
+}  // namespace
+}  // namespace dim::accel

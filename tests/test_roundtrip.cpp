@@ -1,0 +1,137 @@
+// Cross-layer round-trip properties:
+//   - disassembled text re-assembles to the identical encoding;
+//   - programs relocate cleanly to different text/data bases;
+//   - the accelerated system honors run limits.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "work/workload.hpp"
+
+namespace dim {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+// Disassembles an instruction placed at `pc`, re-assembles the text at the
+// same pc, and disassembles again: the text must be a fixpoint. (Raw words
+// can differ in don't-care fields — e.g. `sll` ignores rs — which the
+// printer rightly omits.)
+void expect_reassembles(const Instr& i, uint32_t pc = 0x00400000) {
+  const std::string text = isa::disasm(i, pc);
+  // Jump/branch targets print as absolute hex — valid operands for the
+  // assembler. Assemble the single instruction at the same address.
+  const std::string source = "        .text " + std::to_string(pc) + "\n        " + text + "\n";
+  asmblr::Program program;
+  ASSERT_NO_THROW(program = asmblr::assemble(source)) << text;
+  const asmblr::Segment& seg = program.segments[0];
+  ASSERT_EQ(seg.bytes.size(), 4u) << text;
+  const uint32_t word = static_cast<uint32_t>(seg.bytes[0]) |
+                        (static_cast<uint32_t>(seg.bytes[1]) << 8) |
+                        (static_cast<uint32_t>(seg.bytes[2]) << 16) |
+                        (static_cast<uint32_t>(seg.bytes[3]) << 24);
+  EXPECT_EQ(isa::disasm(isa::decode(word), pc), text);
+}
+
+TEST(DisasmRoundTrip, RandomInstructionsReassemble) {
+  std::mt19937 rng(424242);
+  int checked = 0;
+  for (int n = 0; n < 30000; ++n) {
+    const uint32_t word = rng();
+    const Instr i = isa::decode(word);
+    if (i.op == Op::kInvalid) continue;
+    // Skip forms whose branch/jump targets fall outside an assemblable
+    // window for the fixed pc (the assembler correctly range-checks them).
+    if (isa::is_jump(i.op) && (i.op == Op::kJ || i.op == Op::kJal)) {
+      // j targets must stay in the same 256MB segment as pc+4; always true
+      // for pc 0x400000 since target26 covers exactly that window.
+      expect_reassembles(i);
+      ++checked;
+      continue;
+    }
+    expect_reassembles(i);
+    ++checked;
+  }
+  EXPECT_GT(checked, 2000);
+}
+
+TEST(DisasmRoundTrip, EveryOpcodeHasAWorkingPrinter) {
+  // One representative of every op (branch displacement small).
+  for (int raw = 1; raw <= static_cast<int>(Op::kSw); ++raw) {
+    Instr i;
+    i.op = static_cast<Op>(raw);
+    i.rs = 9;
+    i.rt = 10;
+    i.rd = 11;
+    i.shamt = 3;
+    i.imm16 = 16;
+    i.target26 = (0x00400100 >> 2);
+    expect_reassembles(i);
+  }
+}
+
+TEST(Relocation, WorkloadsRunAtAlternateBases) {
+  const work::Workload wl = work::make_workload("crc32", 1);
+  asmblr::AsmOptions options;
+  options.text_base = 0x00800000;
+  options.data_base = 0x10800000;
+  const asmblr::Program moved = asmblr::assemble(wl.source, options);
+  EXPECT_EQ(moved.entry, 0x00800000u);
+  const sim::RunResult r = sim::run_baseline(moved);
+  EXPECT_EQ(r.state.output, wl.expected_output);
+}
+
+TEST(Relocation, TwoProgramsCoexistInOneAddressSpace) {
+  // Assemble two kernels at disjoint bases, load both, run one after the
+  // other on the same memory image (the heterogeneous-device setup).
+  const work::Workload a = work::make_workload("bitcount", 1);
+  const work::Workload b = work::make_workload("crc32", 1);
+  asmblr::AsmOptions oa;  // defaults
+  asmblr::AsmOptions ob;
+  ob.text_base = 0x00600000;
+  ob.data_base = 0x10600000;
+  const asmblr::Program pa = asmblr::assemble(a.source, oa);
+  const asmblr::Program pb = asmblr::assemble(b.source, ob);
+
+  mem::Memory m;
+  pa.load_into(m);
+  pb.load_into(m);
+
+  for (const auto& [prog, wl] : {std::pair{&pa, &a}, std::pair{&pb, &b}}) {
+    sim::CpuState s;
+    s.pc = prog->entry;
+    s.regs[29] = 0x7FFF0000;
+    s.regs[28] = 0x10008000;
+    while (!s.halted) sim::step(s, m);
+    EXPECT_EQ(s.output, wl->expected_output);
+  }
+}
+
+TEST(RunLimits, AcceleratedSystemHonorsMaxInstructions) {
+  const char* endless = R"(
+main:   li $t0, 0
+loop:   addiu $t0, $t0, 1
+        xor $t1, $t0, $t1
+        addu $t2, $t2, $t1
+        sll $t3, $t2, 1
+        b loop
+)";
+  const auto prog = asmblr::assemble(endless);
+  accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  cfg.machine.max_instructions = 5000;
+  const auto st = accel::run_accelerated(prog, cfg);
+  EXPECT_TRUE(st.hit_limit);
+  // The array commits in batches, so the count may overshoot by at most
+  // one configuration's worth.
+  EXPECT_GE(st.instructions, 5000u);
+  EXPECT_LT(st.instructions, 5400u);
+}
+
+}  // namespace
+}  // namespace dim

@@ -1,0 +1,184 @@
+// Integration tests of the full accelerated system — the paper's central
+// claims: transparency (identical architectural results), acceleration
+// (never slower), and the speculation life-cycle.
+#include <gtest/gtest.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+
+namespace dim::accel {
+namespace {
+
+const char* kLoopProgram = R"(
+        .data
+arr:    .word 0
+        .space 2048
+        .text
+main:   la $t0, arr
+        li $t1, 500
+        li $t2, 0
+        li $t3, 0
+loop:   sll $t4, $t3, 2
+        andi $t4, $t4, 1023
+        addu $t5, $t0, $t4
+        lw $t6, 0($t5)
+        addu $t6, $t6, $t3
+        sw $t6, 0($t5)
+        addu $t2, $t2, $t6
+        addiu $t3, $t3, 1
+        bne $t3, $t1, loop
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+void expect_transparent(const SpeedupResult& r) {
+  EXPECT_EQ(r.baseline.final_state.output, r.accelerated.final_state.output);
+  EXPECT_EQ(r.baseline.final_state.reg_hash(), r.accelerated.final_state.reg_hash());
+  EXPECT_EQ(r.baseline.memory_hash, r.accelerated.memory_hash);
+  EXPECT_FALSE(r.accelerated.hit_limit);
+}
+
+TEST(System, TransparentAndFasterOnLoop) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  for (bool spec : {false, true}) {
+    const auto r = measure_speedup(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, spec));
+    expect_transparent(r);
+    EXPECT_GT(r.speedup(), 1.0) << "spec=" << spec;
+  }
+}
+
+TEST(System, SpeculationBeatsNoSpeculationOnBiasedLoop) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto ns = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config3(), 64, false));
+  const auto sp = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config3(), 64, true));
+  EXPECT_LT(sp.cycles, ns.cycles);
+  EXPECT_GT(sp.extensions, 0u);
+}
+
+TEST(System, ArrayDisabledMatchesBaselineCycles) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  SystemConfig cfg;
+  cfg.array_enabled = false;
+  const auto st = run_accelerated(prog, cfg);
+  const auto base = baseline_as_stats(prog, cfg.machine);
+  EXPECT_EQ(st.cycles, base.cycles);
+  EXPECT_EQ(st.array_activations, 0u);
+  EXPECT_EQ(st.final_state.output, base.final_state.output);
+}
+
+TEST(System, InstructionConservation) {
+  // Committed instructions must be identical between baseline and
+  // accelerated runs — the array replaces instructions, it never adds or
+  // drops any.
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto r = measure_speedup(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, false));
+  EXPECT_EQ(r.baseline.instructions, r.accelerated.instructions);
+  EXPECT_EQ(r.accelerated.instructions,
+            r.accelerated.proc_instructions + r.accelerated.array_instructions);
+}
+
+TEST(System, SpeculativeRunMayReplayButNeverDropsWork) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto r = measure_speedup(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  // Misspeculated slots re-execute on the processor, so the committed count
+  // can only match or exceed the baseline's (never drop below).
+  EXPECT_GE(r.accelerated.instructions, r.baseline.instructions);
+}
+
+TEST(System, CyclesDecomposeExactly) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto st = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  EXPECT_EQ(st.cycles, st.proc_cycles + st.array_cycles);
+  EXPECT_GT(st.array_activations, 0u);
+  EXPECT_GT(st.array_instructions, 0u);
+}
+
+TEST(System, ZeroSlotCacheDegradesToBaseline) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto st = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config2(), 0, true));
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+  EXPECT_EQ(st.cycles, base.cycles);
+  EXPECT_EQ(st.array_activations, 0u);
+}
+
+TEST(System, TinyArrayStillTransparent) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  rra::ArrayShape tiny{4, 2, 1, 1};
+  const auto r = measure_speedup(prog, SystemConfig::with(tiny, 8, true));
+  expect_transparent(r);
+}
+
+TEST(System, MinInstructionThresholdRespected) {
+  // A program whose loop body (between branches) is only 3 instructions
+  // must never activate the array (sequences must exceed 3 instructions).
+  const char* short_loop = R"(
+main:   li $t1, 200
+        li $t2, 0
+loop:   addu $t2, $t2, $t1
+        addiu $t1, $t1, -1
+        bnez $t1, loop
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(short_loop);
+  SystemConfig cfg = SystemConfig::with(rra::ArrayShape::config2(), 64, false);
+  const auto st = run_accelerated(prog, cfg);
+  EXPECT_EQ(st.array_activations, 0u);
+}
+
+TEST(System, AlternatingBranchFlushesConfiguration) {
+  // A branch that alternates T/N/T/N defeats the bimodal gate; with
+  // speculation the first captured direction goes stale, misspeculates,
+  // and once the counter saturates the other way the config is flushed.
+  const char* alternating = R"(
+        .data
+buf:    .space 64
+        .text
+main:   li $s0, 400
+        li $s1, 0             # i
+        la $s2, buf
+loop:   andi $t0, $s1, 1
+        sll $t1, $s1, 2
+        andi $t1, $t1, 63
+        addu $t2, $s2, $t1
+        sw $t0, 0($t2)
+        beqz $t0, even
+        addiu $s3, $s3, 2
+        b next
+even:   addiu $s3, $s3, 1
+next:   addiu $s1, $s1, 1
+        bne $s1, $s0, loop
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(alternating);
+  const auto r = measure_speedup(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  expect_transparent(r);
+}
+
+TEST(System, MisspecFlushThresholdAblation) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  SystemConfig aggressive = SystemConfig::with(rra::ArrayShape::config3(), 64, true);
+  aggressive.misspec_flush_threshold = 1;  // flush on first misspeculation
+  const auto st = run_accelerated(prog, aggressive);
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+  EXPECT_EQ(st.final_state.output, base.final_state.output);
+  EXPECT_GE(st.config_flushes, 1u);
+}
+
+TEST(System, StatsAreInternallyConsistent) {
+  const auto prog = asmblr::assemble(kLoopProgram);
+  const auto st = run_accelerated(prog, SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  // Every processor retirement is observed by DIM except branches absorbed
+  // directly into a speculation extension.
+  EXPECT_EQ(st.bt_observed + st.extensions, st.proc_instructions);
+  EXPECT_GE(st.rcache_hits, st.array_activations);
+  EXPECT_GE(st.config_words_loaded, st.array_activations);  // >=1 word per activation
+  EXPECT_GT(st.config_words_written, 0u);
+}
+
+}  // namespace
+}  // namespace dim::accel

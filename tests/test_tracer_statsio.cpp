@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/stats_io.hpp"
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+#include "sim/tracer.hpp"
+
+namespace dim {
+namespace {
+
+TEST(Tracer, RendersDisassemblyAndAnnotations) {
+  const auto prog = asmblr::assemble(
+      "main:   li $t0, 3\n"
+      "loop:   addiu $t0, $t0, -1\n"
+      "        bnez $t0, loop\n"
+      "        li $v0, 10\n"
+      "        syscall\n");
+  sim::Machine machine(prog);
+  std::ostringstream out;
+  sim::TracerOptions opt;
+  opt.show_registers = true;
+  sim::Tracer tracer(out, opt);
+  machine.run([&](const sim::StepInfo& info) { tracer.observe(info, machine.state()); });
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("addiu $t0, $t0, -1"), std::string::npos);
+  EXPECT_NE(text.find("; taken"), std::string::npos);
+  EXPECT_NE(text.find("; not taken"), std::string::npos);
+  EXPECT_NE(text.find("$t0 = 0x00000002"), std::string::npos);
+  EXPECT_NE(text.find("00400000:"), std::string::npos);
+}
+
+TEST(Tracer, RespectsLineLimit) {
+  const auto prog = asmblr::assemble(
+      "main:   li $t0, 1000\n"
+      "loop:   addiu $t0, $t0, -1\n"
+      "        bnez $t0, loop\n"
+      "        break\n");
+  sim::Machine machine(prog);
+  std::ostringstream out;
+  sim::TracerOptions opt;
+  opt.max_lines = 10;
+  sim::Tracer tracer(out, opt);
+  machine.run([&](const sim::StepInfo& info) { tracer.observe(info, machine.state()); });
+  EXPECT_EQ(tracer.lines(), 10u);
+  tracer.note("ignored past the limit");
+  EXPECT_EQ(tracer.lines(), 10u);
+}
+
+TEST(Tracer, NoteEmitsAnnotation) {
+  std::ostringstream out;
+  sim::Tracer tracer(out);
+  tracer.note("array activation @0x400018");
+  EXPECT_NE(out.str().find("---------- array activation @0x400018"), std::string::npos);
+}
+
+TEST(StatsIo, JsonContainsAllCounters) {
+  const auto prog = asmblr::assemble(
+      "main:   li $t0, 50\n"
+      "loop:   addiu $t0, $t0, -1\n"
+      "        addu $t1, $t1, $t0\n"
+      "        xor $t2, $t1, $t0\n"
+      "        sll $t3, $t2, 1\n"
+      "        bnez $t0, loop\n"
+      "        li $v0, 10\n"
+      "        syscall\n");
+  const auto st =
+      accel::run_accelerated(prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  std::ostringstream out;
+  accel::write_json(out, st, "smoke \"quoted\"");
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  for (const char* key :
+       {"instructions", "cycles", "array_activations", "rcache_hits", "ipc",
+        "array_coverage", "misspeculations", "config_flushes"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\":"), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // label escaped
+}
+
+TEST(StatsIo, ReportMentionsCoverage) {
+  accel::AccelStats st;
+  st.instructions = 100;
+  st.proc_instructions = 25;
+  st.array_instructions = 75;
+  st.cycles = 40;
+  st.proc_cycles = 30;
+  st.array_cycles = 10;
+  std::ostringstream out;
+  accel::write_report(out, st);
+  EXPECT_NE(out.str().find("75% coverage"), std::string::npos);
+  EXPECT_NE(out.str().find("ipc:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dim

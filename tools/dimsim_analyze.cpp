@@ -1,0 +1,151 @@
+// dimsim-analyze: static DIM planning. Walks the text segment of an
+// assembled program, splits it into static basic blocks, runs the DIM
+// placement over each block, and reports what the hardware would find:
+// translatable fraction, rows needed, functional-unit pressure against a
+// chosen array shape. The offline counterpart of the paper's §5.1
+// analysis — useful to size an array for a binary before running it.
+//
+// Usage: dimsim-analyze file.s [--config 1|2|3]
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "bt/translator.hpp"
+#include "isa/decoder.hpp"
+#include "rra/array_shape.hpp"
+
+namespace {
+
+using dim::isa::Instr;
+using dim::isa::Op;
+
+struct BlockPlan {
+  uint32_t start = 0;
+  int instructions = 0;
+  int translated = 0;
+  int rows = 0;
+  int alu = 0, mul = 0, mem = 0;
+  bool cacheable = false;  // >3 translated instructions
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  int config_id = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_id = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3]\n");
+      return 2;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3]\n");
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  dim::asmblr::Program program;
+  try {
+    program = dim::asmblr::assemble(source.str());
+  } catch (const dim::asmblr::AsmError& e) {
+    std::fprintf(stderr, "%s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+
+  const dim::rra::ArrayShape shape = config_id == 1   ? dim::rra::ArrayShape::config1()
+                                     : config_id == 3 ? dim::rra::ArrayShape::config3()
+                                                      : dim::rra::ArrayShape::config2();
+
+  // Decode the text segment and find static basic-block leaders: the entry,
+  // every branch/jump target, and every instruction after a control
+  // transfer.
+  const auto& text = program.segments[0];
+  std::map<uint32_t, Instr> instrs;
+  for (size_t off = 0; off + 4 <= text.bytes.size(); off += 4) {
+    const uint32_t pc = text.base + static_cast<uint32_t>(off);
+    const uint32_t word = static_cast<uint32_t>(text.bytes[off]) |
+                          (static_cast<uint32_t>(text.bytes[off + 1]) << 8) |
+                          (static_cast<uint32_t>(text.bytes[off + 2]) << 16) |
+                          (static_cast<uint32_t>(text.bytes[off + 3]) << 24);
+    instrs.emplace(pc, dim::isa::decode(word));
+  }
+  std::set<uint32_t> leaders = {program.entry};
+  for (const auto& [pc, i] : instrs) {
+    if (dim::isa::is_branch(i.op)) {
+      leaders.insert(pc + 4 + (static_cast<uint32_t>(i.simm()) << 2));
+      leaders.insert(pc + 4);
+    } else if (dim::isa::is_jump(i.op)) {
+      if (i.op == Op::kJ || i.op == Op::kJal) {
+        leaders.insert(((pc + 4) & 0xF0000000u) | (i.target26 << 2));
+      }
+      leaders.insert(pc + 4);
+    }
+  }
+
+  // Plan each static block with the DIM placement rules.
+  dim::bt::TranslatorParams params;
+  params.shape = shape;
+  std::vector<BlockPlan> plans;
+  int total_instr = 0, total_translated = 0, cacheable = 0;
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const uint32_t start = *it;
+    if (instrs.find(start) == instrs.end()) continue;
+    BlockPlan plan;
+    plan.start = start;
+    dim::bt::ConfigBuilder builder(start, params);
+    for (uint32_t pc = start; instrs.count(pc) != 0; pc += 4) {
+      if (pc != start && leaders.count(pc) != 0) break;  // next block
+      const Instr& i = instrs.at(pc);
+      ++plan.instructions;
+      if (dim::isa::is_branch(i.op) || dim::isa::is_jump(i.op) ||
+          i.op == Op::kSyscall || i.op == Op::kBreak || i.op == Op::kInvalid) {
+        break;
+      }
+      if (builder.try_add(i, pc)) {
+        ++plan.translated;
+        switch (dim::isa::fu_kind(i.op)) {
+          case dim::isa::FuKind::kMul: ++plan.mul; break;
+          case dim::isa::FuKind::kLdSt: ++plan.mem; break;
+          default: ++plan.alu; break;
+        }
+      }
+    }
+    const auto config = builder.finalize(0);
+    plan.rows = config.rows_used;
+    plan.cacheable = plan.translated >= params.min_instructions;
+    total_instr += plan.instructions;
+    total_translated += plan.translated;
+    if (plan.cacheable) ++cacheable;
+    plans.push_back(plan);
+  }
+
+  std::printf("static DIM analysis of %s against configuration #%d (%d lines)\n\n",
+              input.c_str(), config_id, shape.lines);
+  std::printf("%-12s %6s %6s %5s %5s %5s %5s %10s\n", "block", "instr", "xlate", "rows",
+              "alu", "mul", "mem", "cacheable");
+  for (const BlockPlan& p : plans) {
+    std::printf("0x%08x %6d %6d %5d %5d %5d %5d %10s\n", p.start, p.instructions,
+                p.translated, p.rows, p.alu, p.mul, p.mem, p.cacheable ? "yes" : "-");
+  }
+  std::printf("\n%zu static blocks; %d/%d instructions translatable (%.1f%%); "
+              "%d blocks cacheable (>3 instructions)\n",
+              plans.size(), total_translated, total_instr,
+              total_instr ? 100.0 * total_translated / total_instr : 0.0, cacheable);
+  return 0;
+}

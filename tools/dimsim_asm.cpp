@@ -1,0 +1,102 @@
+// dimsim-asm: assemble a MIPS source file to a loadable image listing.
+//
+// Usage: dimsim-asm [options] file.s
+//   --symbols        also print the symbol table
+//   --segments       also print segment summaries
+//   -o FILE          write the image (text format, see below) to FILE
+//
+// Image format (consumed by dimsim-run --image and Program-compatible):
+//   image v1 <entry>
+//   segment <base> <byte-count>
+//   <hex bytes, 16 per line>
+//   ... (per segment)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+namespace {
+
+void write_image(std::ostream& out, const dim::asmblr::Program& program) {
+  out << "image v1 " << program.entry << "\n";
+  for (const auto& seg : program.segments) {
+    out << "segment " << seg.base << " " << seg.bytes.size() << "\n";
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%02x", seg.bytes[i]);
+      out << buf << (((i + 1) % 16 == 0) ? "\n" : " ");
+    }
+    if (seg.bytes.size() % 16 != 0) out << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  bool symbols = false, segments = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--symbols") {
+      symbols = true;
+    } else if (arg == "--segments") {
+      segments = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: dimsim-asm [--symbols] [--segments] [-o out.img] file.s\n");
+      return 2;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: dimsim-asm [--symbols] [--segments] [-o out.img] file.s\n");
+    return 2;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  dim::asmblr::Program program;
+  try {
+    program = dim::asmblr::assemble(source.str());
+  } catch (const dim::asmblr::AsmError& e) {
+    std::fprintf(stderr, "%s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+
+  std::printf("entry: 0x%08x, %zu bytes total\n", program.entry, program.image_bytes());
+  if (segments) {
+    for (const auto& seg : program.segments) {
+      std::printf("segment base=0x%08x size=%zu\n", seg.base, seg.bytes.size());
+    }
+  }
+  if (symbols) {
+    std::printf("symbols:\n");
+    for (const auto& [name, addr] : program.symbols) {
+      std::printf("  0x%08x  %s\n", addr, name.c_str());
+    }
+  }
+  if (!output.empty()) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", output.c_str());
+      return 1;
+    }
+    write_image(out, program);
+    std::printf("wrote %s\n", output.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// dimsim-disasm: disassemble the text segment of an assembled source file
+// (or every word of a chosen segment), producing a listing.
+//
+// Usage: dimsim-disasm file.s [--all-segments]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+int main(int argc, char** argv) {
+  std::string input;
+  bool all_segments = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all-segments") {
+      all_segments = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: dimsim-disasm file.s [--all-segments]\n");
+      return 2;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: dimsim-disasm file.s [--all-segments]\n");
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  dim::asmblr::Program program;
+  try {
+    program = dim::asmblr::assemble(source.str());
+  } catch (const dim::asmblr::AsmError& e) {
+    std::fprintf(stderr, "%s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+
+  // Invert the symbol table for labels in the listing.
+  std::unordered_map<uint32_t, std::string> labels;
+  for (const auto& [name, addr] : program.symbols) labels.emplace(addr, name);
+
+  const size_t limit = all_segments ? program.segments.size() : 1;
+  for (size_t s = 0; s < limit && s < program.segments.size(); ++s) {
+    const auto& seg = program.segments[s];
+    for (size_t off = 0; off + 4 <= seg.bytes.size(); off += 4) {
+      const uint32_t pc = seg.base + static_cast<uint32_t>(off);
+      const uint32_t word = static_cast<uint32_t>(seg.bytes[off]) |
+                            (static_cast<uint32_t>(seg.bytes[off + 1]) << 8) |
+                            (static_cast<uint32_t>(seg.bytes[off + 2]) << 16) |
+                            (static_cast<uint32_t>(seg.bytes[off + 3]) << 24);
+      if (auto it = labels.find(pc); it != labels.end()) {
+        std::printf("%s:\n", it->second.c_str());
+      }
+      const dim::isa::Instr instr = dim::isa::decode(word);
+      std::printf("  %08x:  %08x  %s\n", pc, word,
+                  dim::isa::disasm(instr, pc).c_str());
+    }
+  }
+  return 0;
+}
