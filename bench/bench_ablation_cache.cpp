@@ -2,6 +2,10 @@
 // saturate above ~16 slots (the paper's full binaries saturate above 256),
 // so this sweep exposes the FIFO capacity effect in the 1..16 range and
 // reports the working-set size (distinct configurations) per benchmark.
+//
+// Runs as one SweepEngine grid: per workload, the slot sweep plus the two
+// stats-only points (4 and 512 slots) used for the eviction/working-set
+// columns. Flags: --threads N, --json PATH (see bench_util.hpp).
 #include <cstdio>
 #include <vector>
 
@@ -11,9 +15,30 @@
 using namespace dim;
 using namespace dim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepCli cli = parse_sweep_cli(argc, argv);
   const size_t slot_counts[] = {1, 2, 4, 8, 16, 64, 256};
   const auto workloads = prepare_all();
+
+  // Per workload: one point per slot count, then the 4-slot and 512-slot
+  // probes for the eviction/working-set columns.
+  std::vector<accel::SweepPoint> grid;
+  for (const auto& p : workloads) {
+    for (size_t slots : slot_counts) {
+      grid.push_back(point_of(p, p.workload.name + "/slots" + std::to_string(slots),
+                              accel::SystemConfig::with(rra::ArrayShape::config2(), slots, true)));
+    }
+    grid.push_back(point_of(p, p.workload.name + "/evict4",
+                            accel::SystemConfig::with(rra::ArrayShape::config2(), 4, true)));
+    grid.push_back(point_of(p, p.workload.name + "/wset512",
+                            accel::SystemConfig::with(rra::ArrayShape::config2(), 512, true)));
+  }
+
+  const auto results = run_sweep(std::move(grid), cli);
+  maybe_write_json(cli, results);
+  if (cli.points != 0) return 0;  // smoke mode: truncated grid, no tables
+
+  const size_t stride = std::size(slot_counts) + 2;
 
   std::printf("Ablation - reconfiguration cache slots (C#2, speculation)\n\n");
   std::printf("%-16s", "Algorithm");
@@ -21,20 +46,16 @@ int main() {
   std::printf("  configs evictions(4)\n");
 
   std::vector<double> avg(std::size(slot_counts), 0.0);
-  for (const auto& p : workloads) {
-    std::printf("%-16s", p.workload.display.c_str());
-    size_t i = 0;
-    for (size_t slots : slot_counts) {
-      const double s =
-          speedup_of(p, accel::SystemConfig::with(rra::ArrayShape::config2(), slots, true));
-      avg[i++] += s;
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const size_t base = w * stride;
+    std::printf("%-16s", workloads[w].workload.display.c_str());
+    for (size_t i = 0; i < std::size(slot_counts); ++i) {
+      const double s = results[base + i].speedup();
+      avg[i] += s;
       std::printf(" %7.2f", s);
     }
-    // Working set + eviction pressure at 4 slots.
-    const auto st4 = accel::run_accelerated(
-        p.program, accel::SystemConfig::with(rra::ArrayShape::config2(), 4, true));
-    const auto stbig = accel::run_accelerated(
-        p.program, accel::SystemConfig::with(rra::ArrayShape::config2(), 512, true));
+    const accel::AccelStats& st4 = results[base + std::size(slot_counts)].accelerated;
+    const accel::AccelStats& stbig = results[base + std::size(slot_counts) + 1].accelerated;
     std::printf("  %7llu %7llu\n", static_cast<unsigned long long>(stbig.rcache_insertions),
                 static_cast<unsigned long long>(st4.rcache_evictions));
   }

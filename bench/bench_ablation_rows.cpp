@@ -2,6 +2,9 @@
 // rows execute within one processor-equivalent cycle; this sweep shows how
 // much of the speedup depends on that chaining depth, and on the
 // multiplier/memory row costs.
+//
+// Both sections run as one SweepEngine grid. Flags: --threads N,
+// --json PATH (see bench_util.hpp).
 #include <cstdio>
 #include <vector>
 
@@ -11,31 +14,53 @@
 using namespace dim;
 using namespace dim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepCli cli = parse_sweep_cli(argc, argv);
   const auto workloads = prepare_all();
+  const int row_settings[] = {1, 2, 3, 4, 6};
+  const int mul_settings[] = {1, 2, 4};
 
-  std::printf("Ablation - ALU rows chained per cycle (C#2, 64 slots, speculation)\n");
-  std::printf("%-12s %10s\n", "rows/cycle", "avg speedup");
-  for (int rows : {1, 2, 3, 4, 6}) {
-    std::vector<double> speedups;
+  // One grid: the rows/cycle section first, then the multiplier-cost
+  // section, each workload-major so means are a contiguous slice.
+  std::vector<accel::SweepPoint> grid;
+  for (int rows : row_settings) {
     for (const auto& p : workloads) {
       accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
       cfg.array_timing.alu_rows_per_cycle = rows;
-      speedups.push_back(speedup_of(p, cfg));
+      grid.push_back(point_of(p, p.workload.name + "/rows" + std::to_string(rows), cfg));
     }
-    std::printf("%-12d %10.2f%s\n", rows, mean(speedups), rows == 3 ? "   <- paper setting" : "");
   }
-
-  std::printf("\nAblation - multiplier row cost (cycles per multiply row)\n");
-  std::printf("%-12s %10s\n", "mul cycles", "avg speedup");
-  for (int mul : {1, 2, 4}) {
-    std::vector<double> speedups;
+  for (int mul : mul_settings) {
     for (const auto& p : workloads) {
       accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
       cfg.array_timing.mul_row_cycles = mul;
-      speedups.push_back(speedup_of(p, cfg));
+      grid.push_back(point_of(p, p.workload.name + "/mul" + std::to_string(mul), cfg));
     }
-    std::printf("%-12d %10.2f\n", mul, mean(speedups));
+  }
+
+  const auto results = run_sweep(std::move(grid), cli);
+  maybe_write_json(cli, results);
+  if (cli.points != 0) return 0;  // smoke mode: truncated grid, no tables
+
+  const size_t n = workloads.size();
+  const auto mean_slice = [&](size_t first) {
+    std::vector<double> speedups;
+    for (size_t i = 0; i < n; ++i) speedups.push_back(results[first + i].speedup());
+    return mean(speedups);
+  };
+
+  std::printf("Ablation - ALU rows chained per cycle (C#2, 64 slots, speculation)\n");
+  std::printf("%-12s %10s\n", "rows/cycle", "avg speedup");
+  for (size_t r = 0; r < std::size(row_settings); ++r) {
+    std::printf("%-12d %10.2f%s\n", row_settings[r], mean_slice(r * n),
+                row_settings[r] == 3 ? "   <- paper setting" : "");
+  }
+
+  const size_t mul_base = std::size(row_settings) * n;
+  std::printf("\nAblation - multiplier row cost (cycles per multiply row)\n");
+  std::printf("%-12s %10s\n", "mul cycles", "avg speedup");
+  for (size_t m = 0; m < std::size(mul_settings); ++m) {
+    std::printf("%-12d %10.2f\n", mul_settings[m], mean_slice(mul_base + m * n));
   }
   return 0;
 }

@@ -2,7 +2,16 @@
 // every benchmark, over configurations #1..#3 (Table 1), {16,64,256}
 // reconfiguration-cache slots, with and without speculation, plus the
 // ideal-resources column.
+//
+// The grid is executed on accel::SweepEngine. The bench runs it twice —
+// once with the requested worker count and once single-threaded — and
+// verifies the aggregated JSON is byte-identical (the engine's determinism
+// contract), logging both wall-clock times.
+//
+// Flags: --threads N, --points N (smoke: truncate grid, skip the tables),
+// --json PATH. See bench_util.hpp.
 #include <cstdio>
+#include <sstream>
 
 #include "bench/bench_util.hpp"
 #include "bench/paper_reference.hpp"
@@ -11,12 +20,77 @@
 using namespace dim;
 using namespace dim::bench;
 
-int main() {
+namespace {
+
+// Grid layout per workload: [config 0..2][nospec,spec][slot 0..2] then the
+// two ideal points — 20 points per workload, in that order.
+constexpr size_t kPointsPerWorkload = 20;
+
+std::vector<accel::SweepPoint> build_grid(const std::vector<PreparedWorkload>& workloads,
+                                          const rra::ArrayShape (&shapes)[3],
+                                          const size_t (&slot_counts)[3]) {
+  std::vector<accel::SweepPoint> grid;
+  for (const auto& p : workloads) {
+    for (int c = 0; c < 3; ++c) {
+      for (int spec = 0; spec < 2; ++spec) {
+        for (size_t slots : slot_counts) {
+          grid.push_back(point_of(
+              p,
+              p.workload.name + "/C" + std::to_string(c + 1) + (spec ? "/sp/" : "/ns/") +
+                  std::to_string(slots),
+              accel::SystemConfig::with(shapes[c], slots, spec == 1)));
+        }
+      }
+    }
+    for (int spec = 0; spec < 2; ++spec) {
+      grid.push_back(point_of(p, p.workload.name + (spec ? "/ideal/sp" : "/ideal/ns"),
+                              accel::SystemConfig::with(rra::ArrayShape::ideal(),
+                                                        size_t{1} << 20, spec == 1)));
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SweepCli cli = parse_sweep_cli(argc, argv);
   const rra::ArrayShape shapes[3] = {rra::ArrayShape::config1(), rra::ArrayShape::config2(),
                                      rra::ArrayShape::config3()};
   const size_t slot_counts[3] = {16, 64, 256};
 
-  std::printf("Table 1 - array configurations\n");
+  const auto workloads = prepare_all();
+  std::vector<accel::SweepPoint> grid = build_grid(workloads, shapes, slot_counts);
+  if (cli.points != 0 && cli.points < grid.size()) grid.resize(cli.points);
+
+  // Parallel run vs single-threaded reference: same results, byte-identical
+  // JSON, wall-clock comparison logged.
+  const accel::SweepEngine engine({cli.threads});
+  auto t0 = std::chrono::steady_clock::now();
+  const auto results = engine.run(grid);
+  const double parallel_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto serial = accel::SweepEngine({1}).run(grid);
+  const double serial_s = seconds_since(t0);
+
+  require_transparent(results);
+  std::ostringstream json_par, json_ser;
+  accel::write_sweep_json(json_par, results);
+  accel::write_sweep_json(json_ser, serial);
+  const bool identical = json_par.str() == json_ser.str();
+  std::printf("sweep: %zu points, %u workers %.3fs, 1 worker %.3fs (%.2fx), "
+              "JSON byte-identical: %s\n",
+              grid.size(), engine.threads(), parallel_s, serial_s,
+              parallel_s > 0 ? serial_s / parallel_s : 0.0, identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr, "determinism violation: parallel and serial JSON differ\n");
+    return 1;
+  }
+  maybe_write_json(cli, results);
+  if (cli.points != 0) return 0;  // smoke mode: the checks above are the point
+
+  std::printf("\nTable 1 - array configurations\n");
   std::printf("%-18s %6s %6s %6s\n", "", "C#1", "C#2", "C#3");
   std::printf("%-18s %6d %6d %6d\n", "#Lines", shapes[0].lines, shapes[1].lines, shapes[2].lines);
   std::printf("%-18s %6d %6d %6d\n", "#Columns", shapes[0].columns(), shapes[1].columns(),
@@ -42,25 +116,24 @@ int main() {
   // Accumulators for the average row.
   double acc[3][2][3] = {};
   double acc_ideal[2] = {};
-  const auto workloads = prepare_all();
 
-  for (const auto& p : workloads) {
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const auto& p = workloads[w];
+    const size_t base = w * kPointsPerWorkload;
     std::printf("%-16s", p.workload.display.c_str());
     const PaperTable2Row& paper = paper_table2().at(p.workload.name);
     for (int c = 0; c < 3; ++c) {
       for (int spec = 0; spec < 2; ++spec) {
         for (int s = 0; s < 3; ++s) {
-          const double measured = speedup_of(
-              p, accel::SystemConfig::with(shapes[c], slot_counts[s], spec == 1));
+          const double measured =
+              results[base + static_cast<size_t>(c * 6 + spec * 3 + s)].speedup();
           acc[c][spec][s] += measured;
           std::printf("  %4.2f|%4.2f", measured, paper.s[c][spec][s]);
         }
       }
     }
     for (int spec = 0; spec < 2; ++spec) {
-      accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::ideal(),
-                                                          size_t{1} << 20, spec == 1);
-      const double measured = speedup_of(p, cfg);
+      const double measured = results[base + 18 + static_cast<size_t>(spec)].speedup();
       acc_ideal[spec] += measured;
       std::printf("  %4.2f|%4.2f", measured, spec ? paper.ideal_spec : paper.ideal_nospec);
     }
@@ -87,15 +160,15 @@ int main() {
       "bench_ablation_cache on a 2..16 slot sweep instead.\n");
 
   // Supplementary: what DIM actually does per benchmark at the headline
-  // setting (C#3, 64 slots, speculation).
+  // setting (C#3, 64 slots, speculation) — grid point [c=2][spec=1][s=1].
   std::printf("\nDIM statistics at C#3 / 64 slots / speculation\n");
   std::printf("%-16s %10s %9s %9s %8s %8s %8s %8s\n", "Algorithm", "instr", "coverage",
               "activs", "misspec", "flushes", "extens", "configs");
-  for (const auto& p : workloads) {
-    const accel::AccelStats st = accel::run_accelerated(
-        p.program, accel::SystemConfig::with(rra::ArrayShape::config3(), 64, true));
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const accel::AccelStats& st =
+        results[w * kPointsPerWorkload + (2 * 6 + 1 * 3 + 1)].accelerated;
     std::printf("%-16s %10llu %8.1f%% %9llu %8llu %8llu %8llu %8llu\n",
-                p.workload.display.c_str(),
+                workloads[w].workload.display.c_str(),
                 static_cast<unsigned long long>(st.instructions),
                 100.0 * st.array_coverage(),
                 static_cast<unsigned long long>(st.array_activations),

@@ -1,26 +1,65 @@
 // Design-space exploration — the paper's stated future work ("we are
 // working on finding the ideal shape for the reconfigurable array"). Sweeps
 // array shapes for a chosen workload and reports speedup against area, so a
-// designer can pick the knee of the curve.
+// designer can pick the knee of the curve. The 18-shape grid runs on
+// accel::SweepEngine, one worker per hardware thread.
 //
-// Usage: design_explorer [workload-name] (default: sha)
+// Usage: design_explorer [workload-name] [--threads N] [--json PATH]
+//        (default workload: sha)
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "accel/sweep.hpp"
 #include "accel/system.hpp"
 #include "asm/assembler.hpp"
 #include "power/area_model.hpp"
 #include "work/workload.hpp"
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "sha";
+  std::string name = "sha";
+  unsigned threads = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      name = arg;
+    }
+  }
+
   const dim::work::Workload wl = dim::work::make_workload(name, 1);
   const dim::asmblr::Program program = dim::asmblr::assemble(wl.source);
   const dim::accel::AccelStats baseline =
       dim::accel::baseline_as_stats(program, dim::sim::MachineConfig{});
 
-  std::printf("Design-space exploration for %s\n", wl.display.c_str());
+  const int line_settings[] = {8, 16, 24, 48, 96, 150};
+  const int alu_settings[] = {4, 8, 12};
+  std::vector<dim::rra::ArrayShape> shapes;
+  std::vector<dim::accel::SweepPoint> grid;
+  for (int lines : line_settings) {
+    for (int alus : alu_settings) {
+      dim::rra::ArrayShape shape{lines, alus, 2, 4};
+      shapes.push_back(shape);
+      dim::accel::SweepPoint p;
+      p.label = std::to_string(lines) + "x" + std::to_string(alus);
+      p.program = &program;
+      p.config = dim::accel::SystemConfig::with(shape, 64, true);
+      p.baseline = &baseline;
+      grid.push_back(p);
+    }
+  }
+
+  const dim::accel::SweepEngine engine({threads});
+  const auto results = engine.run(grid);
+
+  std::printf("Design-space exploration for %s (%u sweep workers)\n", wl.display.c_str(),
+              engine.threads());
   std::printf("%-28s %10s %12s %14s\n", "shape (lines x alu/mul/mem)", "speedup",
               "gates", "speedup/Mgate");
 
@@ -31,26 +70,27 @@ int main(int argc, char** argv) {
   };
   std::vector<Point> points;
 
-  for (int lines : {8, 16, 24, 48, 96, 150}) {
-    for (int alus : {4, 8, 12}) {
-      dim::rra::ArrayShape shape{lines, alus, 2, 4};
-      const auto st = dim::accel::run_accelerated(
-          program, dim::accel::SystemConfig::with(shape, 64, true));
-      if (st.final_state.output != baseline.final_state.output) {
-        std::fprintf(stderr, "transparency violation!\n");
-        return 1;
-      }
-      const double speedup =
-          static_cast<double>(baseline.cycles) / static_cast<double>(st.cycles);
-      const int64_t gates = dim::power::array_area(shape).total_gates;
-      points.push_back({shape, speedup, gates});
-      char label[64];
-      std::snprintf(label, sizeof label, "%3d x %2d/%d/%d", lines, alus, shape.muls_per_line,
-                    shape.ldsts_per_line);
-      std::printf("%-28s %9.2fx %12lld %14.2f\n", label, speedup,
-                  static_cast<long long>(gates),
-                  speedup / (static_cast<double>(gates) / 1e6));
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].transparent) {
+      std::fprintf(stderr, "transparency violation!\n");
+      return 1;
     }
+    const dim::rra::ArrayShape& shape = shapes[i];
+    const double speedup = results[i].speedup();
+    const int64_t gates = dim::power::array_area(shape).total_gates;
+    points.push_back({shape, speedup, gates});
+    char label[64];
+    std::snprintf(label, sizeof label, "%3d x %2d/%d/%d", shape.lines, shape.alus_per_line,
+                  shape.muls_per_line, shape.ldsts_per_line);
+    std::printf("%-28s %9.2fx %12lld %14.2f\n", label, speedup,
+                static_cast<long long>(gates),
+                speedup / (static_cast<double>(gates) / 1e6));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    dim::accel::write_sweep_json(out, results);
+    std::printf("\nsweep JSON written to %s\n", json_path.c_str());
   }
 
   // Report the Pareto knee: best speedup-per-gate among shapes achieving at

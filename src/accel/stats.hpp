@@ -26,8 +26,8 @@ struct AccelStats {
   uint64_t misspeculations = 0;
   uint64_t config_flushes = 0;
   uint64_t extensions = 0;
-  uint64_t rcache_hits = 0;
-  uint64_t rcache_misses = 0;
+  uint64_t rcache_hits = 0;    // dispatch hits == array activations
+  uint64_t rcache_misses = 0;  // untranslated sequence-start encounters
   uint64_t rcache_insertions = 0;
   uint64_t rcache_evictions = 0;
   uint64_t bt_observed = 0;

@@ -5,12 +5,14 @@
 namespace dim::accel {
 namespace {
 
-void field(std::ostream& out, const char* key, uint64_t value, bool comma = true) {
-  out << "  \"" << key << "\": " << value << (comma ? ",\n" : "\n");
+void field(std::ostream& out, const std::string& indent, const char* key,
+           uint64_t value, bool comma = true) {
+  out << indent << '"' << key << "\": " << value << (comma ? ",\n" : "\n");
 }
 
-// Minimal JSON string escaping for the label field.
-std::string escape(const std::string& s) {
+}  // namespace
+
+std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
     if (c == '"' || c == '\\') {
@@ -25,34 +27,40 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+void write_json_fields(std::ostream& out, const AccelStats& stats,
+                       const std::string& indent) {
+  field(out, indent, "instructions", stats.instructions);
+  field(out, indent, "proc_instructions", stats.proc_instructions);
+  field(out, indent, "array_instructions", stats.array_instructions);
+  field(out, indent, "cycles", stats.cycles);
+  field(out, indent, "proc_cycles", stats.proc_cycles);
+  field(out, indent, "array_cycles", stats.array_cycles);
+  field(out, indent, "reconfig_stall_cycles", stats.reconfig_stall_cycles);
+  field(out, indent, "misspec_penalty_cycles", stats.misspec_penalty_cycles);
+  field(out, indent, "array_activations", stats.array_activations);
+  field(out, indent, "misspeculations", stats.misspeculations);
+  field(out, indent, "config_flushes", stats.config_flushes);
+  field(out, indent, "extensions", stats.extensions);
+  field(out, indent, "rcache_hits", stats.rcache_hits);
+  field(out, indent, "rcache_misses", stats.rcache_misses);
+  field(out, indent, "rcache_insertions", stats.rcache_insertions);
+  field(out, indent, "rcache_evictions", stats.rcache_evictions);
+  field(out, indent, "array_alu_ops", stats.array_alu_ops);
+  field(out, indent, "array_mul_ops", stats.array_mul_ops);
+  field(out, indent, "array_mem_ops", stats.array_mem_ops);
+  field(out, indent, "proc_mem_accesses", stats.proc_mem_accesses);
+  field(out, indent, "config_words_loaded", stats.config_words_loaded);
+  field(out, indent, "config_words_written", stats.config_words_written);
+  field(out, indent, "hit_limit", stats.hit_limit ? 1 : 0);
+  out << indent << "\"ipc\": " << std::setprecision(6) << stats.ipc() << ",\n";
+  out << indent << "\"array_coverage\": " << std::setprecision(6)
+      << stats.array_coverage() << "\n";
+}
 
 void write_json(std::ostream& out, const AccelStats& stats, const std::string& label) {
   out << "{\n";
-  if (!label.empty()) out << "  \"label\": \"" << escape(label) << "\",\n";
-  field(out, "instructions", stats.instructions);
-  field(out, "proc_instructions", stats.proc_instructions);
-  field(out, "array_instructions", stats.array_instructions);
-  field(out, "cycles", stats.cycles);
-  field(out, "proc_cycles", stats.proc_cycles);
-  field(out, "array_cycles", stats.array_cycles);
-  field(out, "reconfig_stall_cycles", stats.reconfig_stall_cycles);
-  field(out, "misspec_penalty_cycles", stats.misspec_penalty_cycles);
-  field(out, "array_activations", stats.array_activations);
-  field(out, "misspeculations", stats.misspeculations);
-  field(out, "config_flushes", stats.config_flushes);
-  field(out, "extensions", stats.extensions);
-  field(out, "rcache_hits", stats.rcache_hits);
-  field(out, "rcache_misses", stats.rcache_misses);
-  field(out, "rcache_insertions", stats.rcache_insertions);
-  field(out, "rcache_evictions", stats.rcache_evictions);
-  field(out, "array_alu_ops", stats.array_alu_ops);
-  field(out, "array_mul_ops", stats.array_mul_ops);
-  field(out, "array_mem_ops", stats.array_mem_ops);
-  field(out, "proc_mem_accesses", stats.proc_mem_accesses);
-  field(out, "hit_limit", stats.hit_limit ? 1 : 0);
-  out << "  \"ipc\": " << std::setprecision(6) << stats.ipc() << ",\n";
-  out << "  \"array_coverage\": " << std::setprecision(6) << stats.array_coverage() << "\n";
+  if (!label.empty()) out << "  \"label\": \"" << json_escape(label) << "\",\n";
+  write_json_fields(out, stats, "  ");
   out << "}\n";
 }
 

@@ -13,6 +13,15 @@ namespace dim::accel {
 void write_json(std::ostream& out, const AccelStats& stats,
                 const std::string& label = "");
 
+// Writes the key/value body of `stats` (everything between the braces,
+// one "<indent>\"key\": value" line per field). Shared by write_json and
+// the sweep-engine serializer so every consumer sees exactly one schema.
+void write_json_fields(std::ostream& out, const AccelStats& stats,
+                       const std::string& indent);
+
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
 // Multi-line human-readable report.
 void write_report(std::ostream& out, const AccelStats& stats);
 

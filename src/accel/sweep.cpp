@@ -1,0 +1,102 @@
+#include "accel/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <iomanip>
+#include <mutex>
+#include <thread>
+
+#include "accel/stats_io.hpp"
+
+namespace dim::accel {
+
+SweepEngine::SweepEngine(SweepOptions options) : threads_(options.threads) {
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;  // hardware_concurrency may report 0
+}
+
+namespace {
+
+SweepResult run_point(const SweepPoint& point, size_t index) {
+  SweepResult result;
+  result.index = index;
+  result.label = point.label;
+  result.accelerated = run_accelerated(*point.program, point.config);
+  if (point.baseline != nullptr) {
+    result.baseline = *point.baseline;
+    result.has_baseline = true;
+  } else if (point.run_baseline) {
+    result.baseline = baseline_as_stats(*point.program, point.config.machine);
+    result.has_baseline = true;
+  }
+  if (result.has_baseline) {
+    result.transparent =
+        result.accelerated.final_state.output == result.baseline.final_state.output &&
+        result.accelerated.memory_hash == result.baseline.memory_hash;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points) const {
+  std::vector<SweepResult> results(points.size());
+  if (points.empty()) return results;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(threads_, points.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < points.size(); ++i) results[i] = run_point(points[i], i);
+    return results;
+  }
+
+  // Work-stealing by atomic index: each slot of `results` is written by
+  // exactly one worker, so the only shared mutable state is the counter
+  // (and the error slot, guarded by a mutex).
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      try {
+        results[i] = run_point(points[i], i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+void write_sweep_json(std::ostream& out, const std::vector<SweepResult>& results) {
+  out << "{\n  \"points\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\n";
+    out << "      \"index\": " << r.index << ",\n";
+    out << "      \"label\": \"" << json_escape(r.label) << "\",\n";
+    if (r.has_baseline) {
+      out << "      \"speedup\": " << std::setprecision(6) << r.speedup() << ",\n";
+      out << "      \"transparent\": " << (r.transparent ? "true" : "false") << ",\n";
+      out << "      \"baseline\": {\n";
+      write_json_fields(out, r.baseline, "        ");
+      out << "      },\n";
+    }
+    out << "      \"accelerated\": {\n";
+    write_json_fields(out, r.accelerated, "        ");
+    out << "      }\n    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace dim::accel

@@ -1,0 +1,84 @@
+// Thread-pooled batch runner for design-space sweeps.
+//
+// The paper's results (Table 2, Fig. 5/6 and every ablation) are grids of
+// (workload x array-shape x cache-size x speculation) points; each point is
+// an independent AcceleratedSystem run. SweepEngine executes a grid across
+// worker threads — one private system instance per point, no shared mutable
+// state — and returns the results ordered by point index, so the aggregated
+// output (including its JSON serialization) is byte-identical regardless of
+// thread count or completion order. See docs/sweep-engine.md.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "accel/stats.hpp"
+#include "accel/system.hpp"
+#include "asm/program.hpp"
+
+namespace dim::accel {
+
+// One grid point: a program plus the system configuration to run it under.
+struct SweepPoint {
+  std::string label;  // carried into the result and its JSON record
+  // Not owned; must outlive SweepEngine::run. Programs are read-only during
+  // the sweep (each system copies the image into its private memory).
+  const asmblr::Program* program = nullptr;
+  SystemConfig config;
+  // Baseline for the speedup column: either a precomputed AccelStats (not
+  // owned; e.g. shared across every point of one workload) or, when null
+  // with run_baseline set, a plain-MIPS run executed inside the worker.
+  const AccelStats* baseline = nullptr;
+  bool run_baseline = false;
+};
+
+struct SweepResult {
+  size_t index = 0;  // == position of the originating point in the grid
+  std::string label;
+  AccelStats accelerated;
+  AccelStats baseline;
+  bool has_baseline = false;
+  // Transparency check (only meaningful with a baseline): identical
+  // program output and final memory image.
+  bool transparent = true;
+
+  double speedup() const {
+    return (!has_baseline || accelerated.cycles == 0)
+               ? 0.0
+               : static_cast<double>(baseline.cycles) /
+                     static_cast<double>(accelerated.cycles);
+  }
+};
+
+struct SweepOptions {
+  unsigned threads = 0;  // 0 = std::thread::hardware_concurrency()
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  // Runs every point to completion. results[i] always corresponds to
+  // points[i]; worker scheduling never shows through. Exceptions thrown by
+  // a worker (e.g. a buggy workload asserting) are rethrown here after all
+  // threads joined.
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+// Serializes a sweep as one JSON document:
+//   {"points": [ {"label": ..., "speedup": ..., "transparent": ...,
+//                 "accelerated": {<stats_io schema>},
+//                 "baseline": {<stats_io schema>}?}, ... ]}
+// Per-point stats use accel::write_json_fields, so the record schema is
+// identical to the single-run write_json output. Deterministic: depends
+// only on the results vector.
+void write_sweep_json(std::ostream& out, const std::vector<SweepResult>& results);
+
+}  // namespace dim::accel

@@ -86,7 +86,8 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
   // branch retires we may merge its following basic block.
   if (config_.speculation && !config->no_extend &&
       config->num_bbs <= config_.max_spec_bbs) {
-    const isa::Instr next = isa::decode(memory_.read32(state_.pc));
+    const uint32_t word = memory_.read32(state_.pc);
+    const isa::Instr next = decode_cache_.get(state_.pc, word);
     if (isa::is_branch(next.op)) {
       extension_candidate_ = true;
       extension_config_pc_ = config_pc;
@@ -112,7 +113,7 @@ AccelStats AcceleratedSystem::run() {
     const bool was_extension_candidate = extension_candidate_;
     extension_candidate_ = false;
 
-    const sim::StepInfo info = sim::step(state_, memory_);
+    const sim::StepInfo info = sim::step(state_, memory_, &decode_cache_);
     ++stats.instructions;
     ++stats.proc_instructions;
     pipeline_.retire(info);
@@ -126,7 +127,9 @@ AccelStats AcceleratedSystem::run() {
         isa::is_branch(info.instr.op)) {
       const auto dir = predictor_.saturated_direction(info.pc);
       if (dir.has_value() && *dir == info.taken) {
-        if (rra::Configuration* config = rcache_->lookup(extension_config_pc_)) {
+        // Bookkeeping access, not a dispatch: probe() keeps the hit count
+        // equal to the number of array activations.
+        if (rra::Configuration* config = rcache_->probe(extension_config_pc_)) {
           if (!translator_->begin_extension(*config, info.instr, info.pc, *dir)) {
             config->no_extend = true;
           } else {

@@ -20,6 +20,7 @@
 #include "mem/memory.hpp"
 #include "rra/array_exec.hpp"
 #include "rra/array_shape.hpp"
+#include "sim/executor.hpp"
 #include "sim/machine.hpp"
 #include "sim/pipeline.hpp"
 
@@ -32,7 +33,7 @@ struct SystemConfig {
   size_t cache_slots = 64;
   bt::Replacement cache_replacement = bt::Replacement::kFifo;  // paper: FIFO
   bool speculation = true;
-  int max_spec_bbs = 3;
+  int max_spec_bbs = 3;  // speculative blocks beyond the first (see TranslatorParams)
   int min_instructions = 4;
   // Related-work emulation (see bt::TranslatorParams): CCA-style FU
   // restrictions and warp-style kernel-only translation.
@@ -83,6 +84,7 @@ class AcceleratedSystem {
   mem::Memory memory_;
   sim::CpuState state_;
   sim::PipelineModel pipeline_;
+  sim::DecodeCache decode_cache_;  // host-side fetch/decode memoization
   bt::BimodalPredictor predictor_;
   std::unique_ptr<bt::ReconfigCache> rcache_;
   std::unique_ptr<bt::Translator> translator_;

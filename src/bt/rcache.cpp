@@ -1,45 +1,41 @@
 #include "bt/rcache.hpp"
 
-#include <algorithm>
-
 namespace dim::bt {
 
 rra::Configuration* ReconfigCache::lookup(uint32_t pc) {
   auto it = entries_.find(pc);
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
-  }
+  if (it == entries_.end()) return nullptr;  // misses are noted by the translator
   ++hits_;
   if (policy_ == Replacement::kLru) {
-    // Refresh recency: move this PC to the back of the order queue.
-    auto pos = std::find(order_.begin(), order_.end(), pc);
-    if (pos != order_.end()) {
-      order_.erase(pos);
-      order_.push_back(pc);
-    }
+    // Refresh recency: splice this PC's node to the back of the order list.
+    order_.splice(order_.end(), order_, order_pos_.find(pc)->second);
   }
   return it->second.get();
 }
 
 void ReconfigCache::insert(rra::Configuration config) {
   const uint32_t pc = config.start_pc;
-  words_written_ += static_cast<uint64_t>(config.instruction_count());
+  const uint64_t words = static_cast<uint64_t>(config.instruction_count());
   auto it = entries_.find(pc);
   if (it != entries_.end()) {
-    // Replacement (e.g. a speculation extension): keep the FIFO position.
+    // Replacement (e.g. a speculation extension): the entry is rewritten in
+    // place — a real cache write — and keeps its FIFO position.
+    words_written_ += words;
     *it->second = std::move(config);
     return;
   }
-  if (slots_ == 0) return;
+  if (slots_ == 0) return;  // nothing stored, nothing written
   while (entries_.size() >= slots_) {
     const uint32_t victim = order_.front();
     order_.pop_front();
+    order_pos_.erase(victim);
     entries_.erase(victim);
     ++evictions_;
   }
+  words_written_ += words;
   entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)));
   order_.push_back(pc);
+  order_pos_.emplace(pc, std::prev(order_.end()));
   ++insertions_;
 }
 
@@ -47,7 +43,9 @@ void ReconfigCache::flush(uint32_t pc) {
   auto it = entries_.find(pc);
   if (it == entries_.end()) return;
   entries_.erase(it);
-  order_.erase(std::remove(order_.begin(), order_.end(), pc), order_.end());
+  auto pos = order_pos_.find(pc);
+  order_.erase(pos->second);
+  order_pos_.erase(pos);
   ++flushes_;
 }
 

@@ -3,9 +3,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "rra/configuration.hpp"
 
@@ -21,9 +22,26 @@ class ReconfigCache {
   explicit ReconfigCache(size_t slots, Replacement policy = Replacement::kFifo)
       : slots_(slots), policy_(policy) {}
 
-  // Looks up a configuration by start PC; counts a hit/miss. Under LRU a
-  // hit refreshes the entry's position; under FIFO it does not.
+  // Dispatch lookup: a present entry counts a hit and, under LRU, has its
+  // recency refreshed (O(1): the entry's list node is spliced to the back).
+  // Absence is NOT counted here — the system probes on every retired PC,
+  // and charging a miss per probe would inflate the miss count by the
+  // entire non-translated instruction stream. Genuine misses (a sequence
+  // start with no stored configuration) are registered by the translator
+  // through note_miss().
   rra::Configuration* lookup(uint32_t pc);
+
+  // Side-effect-free probe: no hit/miss accounting, no recency refresh.
+  // Used by bookkeeping paths (translator start checks, speculation
+  // extension) that must not perturb the dispatch statistics.
+  rra::Configuration* probe(uint32_t pc) {
+    auto it = entries_.find(pc);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  // Registers one counted miss: a translation-start candidate had no
+  // stored configuration. Called by the translator, not by probes.
+  void note_miss() { ++misses_; }
 
   // True if `pc` has an entry (no hit/miss accounting) — used by the
   // translator to avoid re-translating cached sequences.
@@ -38,6 +56,10 @@ class ReconfigCache {
 
   // Inserts (or replaces) the configuration for its start PC. On overflow
   // the oldest inserted entry is evicted (FIFO, per the paper).
+  // words_written() grows only for configurations actually stored: a
+  // zero-slot cache writes nothing (and must charge nothing downstream —
+  // see SystemConfig::translation_cost_per_instr); a replacement rewrites
+  // the entry in place and therefore does count.
   void insert(rra::Configuration config);
 
   // Removes one configuration (speculation flush).
@@ -56,14 +78,22 @@ class ReconfigCache {
   // (one word per translated instruction; feeds the power model).
   uint64_t words_written() const { return words_written_; }
 
-  // Oldest-first insertion order (exposed for tests of the FIFO policy).
-  const std::deque<uint32_t>& fifo_order() const { return order_; }
+  // Oldest-first eviction order, materialized for tests and serialization
+  // (the live order is an intrusive list, not indexable).
+  std::vector<uint32_t> fifo_order() const {
+    return std::vector<uint32_t>(order_.begin(), order_.end());
+  }
 
  private:
+  using OrderList = std::list<uint32_t>;
+
   size_t slots_;
   Replacement policy_;
   std::unordered_map<uint32_t, std::unique_ptr<rra::Configuration>> entries_;
-  std::deque<uint32_t> order_;
+  // Eviction order (front = next victim) plus a PC -> node map so hits,
+  // flushes and evictions never scan: LRU refresh is a splice, O(1).
+  OrderList order_;
+  std::unordered_map<uint32_t, OrderList::iterator> order_pos_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;

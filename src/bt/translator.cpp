@@ -253,6 +253,12 @@ void Translator::observe(const sim::StepInfo& info) {
       // saturated in the direction actually taken right now (otherwise the
       // following instructions are not the speculated path).
       bool merged = false;
+      // Depth guard: max_spec_bbs counts SPECULATIVE blocks beyond the
+      // entry block (the paper speculates "up to 3 basic blocks deep" on
+      // top of the detected sequence). Merging is allowed while the
+      // builder holds <= max_spec_bbs blocks, so a finished configuration
+      // spans at most max_spec_bbs + 1 blocks total — pinned by
+      // Translator.SpeculationDepthCountsBlocksBeyondTheFirst.
       if (params_.speculation && builder_->num_bbs() <= params_.max_spec_bbs) {
         const auto dir = predictor_->saturated_direction(info.pc);
         if (dir.has_value() && *dir == info.taken) {
@@ -274,8 +280,11 @@ void Translator::observe(const sim::StepInfo& info) {
     }
   } else {
     if (start_pending_ && !is_flow && translatable(i.op) &&
-        !cache_->contains(info.pc) &&
+        cache_->probe(info.pc) == nullptr &&
         (params_.allowed_starts.empty() || params_.allowed_starts.count(info.pc) != 0)) {
+      // A genuine sequence start with no stored configuration: the one
+      // event that counts as a reconfiguration-cache miss.
+      cache_->note_miss();
       builder_.emplace(info.pc, params_);
       ++stats_.captures_started;
       start_pending_ = false;

@@ -38,7 +38,10 @@ namespace dim::bt {
 struct TranslatorParams {
   rra::ArrayShape shape = rra::ArrayShape::config1();
   bool speculation = true;
-  int max_spec_bbs = 3;      // speculative basic blocks beyond the first
+  // Speculative basic blocks merged BEYOND the entry block ("up to 3 basic
+  // blocks deep"): a configuration spans at most max_spec_bbs + 1 blocks
+  // in total. See the depth guard in Translator::observe.
+  int max_spec_bbs = 3;
   int min_instructions = 4;  // "more than three instructions"
   int max_input_regs = rra::kNumCtxRegs;
   int max_output_regs = rra::kNumCtxRegs;

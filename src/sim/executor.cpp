@@ -107,11 +107,14 @@ void do_syscall(CpuState& state, mem::Memory& memory) {
 
 }  // namespace
 
-StepInfo step(CpuState& state, mem::Memory& memory) {
+isa::Instr DecodeCache::decode_word(uint32_t word) { return isa::decode(word); }
+
+StepInfo step(CpuState& state, mem::Memory& memory, DecodeCache* decode_cache) {
   StepInfo info;
   info.pc = state.pc;
 
-  const Instr i = isa::decode(memory.read32(state.pc));
+  const uint32_t word = memory.read32(state.pc);
+  const Instr i = decode_cache ? decode_cache->get(state.pc, word) : isa::decode(word);
   info.instr = i;
 
   uint32_t next_pc = state.pc + 4;

@@ -6,12 +6,48 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "isa/instruction.hpp"
 #include "mem/memory.hpp"
 #include "sim/cpu_state.hpp"
 
 namespace dim::sim {
+
+// Pre-decoded instruction cache for the fetch/decode hot path. The
+// simulation loop fetches the same few loop-body words millions of times;
+// decoding each fetch from scratch dominates `step`. This direct-mapped
+// host-side cache keeps the decoded form per PC and revalidates it against
+// the freshly fetched word, so it is exact even under self-modifying code.
+// It models nothing architectural and charges no cycles.
+class DecodeCache {
+ public:
+  DecodeCache() : entries_(kEntries) {}
+
+  const isa::Instr& get(uint32_t pc, uint32_t word) {
+    Entry& e = entries_[(pc >> 2) & (kEntries - 1)];
+    if (e.pc != pc || e.word != word) {
+      e.pc = pc;
+      e.word = word;
+      e.instr = decode_word(word);
+    }
+    return e.instr;
+  }
+
+ private:
+  // PCs are word-aligned, so pc = 1 can never match a real fetch.
+  struct Entry {
+    uint32_t pc = 1;
+    uint32_t word = 0;
+    isa::Instr instr{};
+  };
+  static constexpr size_t kEntries = 4096;  // power of two (index mask)
+
+  // Out-of-line so this header does not need the decoder's.
+  static isa::Instr decode_word(uint32_t word);
+
+  std::vector<Entry> entries_;
+};
 
 // Pure ALU evaluation (covers every FuKind::kAlu operation plus lui).
 // `rs` / `rt` are the architectural source values.
@@ -34,6 +70,7 @@ int mem_width(isa::Op op);
 
 // Executes one instruction at state.pc. Updates state and memory, returns
 // the retirement record. Invalid opcodes and syscall exit halt the core.
-StepInfo step(CpuState& state, mem::Memory& memory);
+// `decode_cache`, when provided, skips re-decoding previously seen words.
+StepInfo step(CpuState& state, mem::Memory& memory, DecodeCache* decode_cache = nullptr);
 
 }  // namespace dim::sim

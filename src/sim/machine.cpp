@@ -13,7 +13,7 @@ Machine::Machine(const asmblr::Program& program, const MachineConfig& config)
 RunResult Machine::run(const std::function<void(const StepInfo&)>& observer) {
   RunResult result;
   while (!state_.halted && result.instructions < config_.max_instructions) {
-    const StepInfo info = step(state_, memory_);
+    const StepInfo info = step(state_, memory_, &decode_cache_);
     ++result.instructions;
     pipeline_.retire(info);
     if (info.mem_access) ++result.mem_accesses;

@@ -49,6 +49,7 @@ class Machine {
   mem::Memory memory_;
   CpuState state_;
   PipelineModel pipeline_;
+  DecodeCache decode_cache_;
 };
 
 // Convenience: assemble-load-run in one call.

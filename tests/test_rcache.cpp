@@ -14,13 +14,48 @@ rra::Configuration cfg(uint32_t pc, int ops = 5) {
 
 TEST(ReconfigCache, MissThenHit) {
   ReconfigCache rc(4);
+  // A dispatch lookup of an absent PC returns nothing and counts nothing:
+  // the system probes on every retired PC, and the miss counter must not
+  // absorb the whole non-translated instruction stream. The translator
+  // registers the genuine miss via note_miss().
   EXPECT_EQ(rc.lookup(0x100), nullptr);
+  EXPECT_EQ(rc.misses(), 0u);
+  rc.note_miss();
   rc.insert(cfg(0x100));
   rra::Configuration* c = rc.lookup(0x100);
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->start_pc, 0x100u);
   EXPECT_EQ(rc.hits(), 1u);
   EXPECT_EQ(rc.misses(), 1u);
+}
+
+TEST(ReconfigCache, HitAndMissTotalsAreIndependent) {
+  ReconfigCache rc(4);
+  rc.insert(cfg(0x100));
+  // 3 counted hits, 2 translator-registered misses, any number of pure
+  // probes: the totals reflect exactly the counted events.
+  EXPECT_NE(rc.lookup(0x100), nullptr);
+  EXPECT_NE(rc.lookup(0x100), nullptr);
+  EXPECT_NE(rc.lookup(0x100), nullptr);
+  rc.note_miss();
+  rc.note_miss();
+  EXPECT_NE(rc.probe(0x100), nullptr);
+  EXPECT_EQ(rc.probe(0x999), nullptr);
+  EXPECT_EQ(rc.lookup(0x999), nullptr);
+  EXPECT_EQ(rc.hits(), 3u);
+  EXPECT_EQ(rc.misses(), 2u);
+}
+
+TEST(ReconfigCache, ProbeHasNoStatsOrRecencySideEffects) {
+  ReconfigCache rc(2, Replacement::kLru);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  EXPECT_NE(rc.probe(0x100), nullptr);  // must NOT refresh recency
+  EXPECT_EQ(rc.hits(), 0u);
+  EXPECT_EQ(rc.misses(), 0u);
+  rc.insert(cfg(0x300));  // evicts 0x100 (probe did not protect it)
+  EXPECT_EQ(rc.probe(0x100), nullptr);
+  EXPECT_NE(rc.probe(0x200), nullptr);
 }
 
 TEST(ReconfigCache, FifoEvictionOrder) {
@@ -87,11 +122,22 @@ TEST(ReconfigCache, ZeroSlotsNeverStores) {
   EXPECT_EQ(rc.size(), 0u);
 }
 
+TEST(ReconfigCache, ZeroSlotsWritesNoWords) {
+  // Regression: a zero-slot cache stores nothing, so it must report zero
+  // words written — the software-BT cost model charges cycles per written
+  // word, and used to bill configurations that were silently dropped.
+  ReconfigCache rc(0);
+  rc.insert(cfg(0x100, 5));
+  rc.insert(cfg(0x200, 7));
+  EXPECT_EQ(rc.words_written(), 0u);
+  EXPECT_EQ(rc.insertions(), 0u);
+}
+
 TEST(ReconfigCache, WordsWrittenAccumulates) {
   ReconfigCache rc(4);
   rc.insert(cfg(0x100, 5));
   rc.insert(cfg(0x200, 7));
-  rc.insert(cfg(0x100, 9));  // replacement also writes
+  rc.insert(cfg(0x100, 9));  // replacement rewrites the entry: counted
   EXPECT_EQ(rc.words_written(), 21u);
 }
 

@@ -1,0 +1,146 @@
+// SweepEngine: deterministic thread-pooled execution of benchmark grids.
+// The contract under test: results are ordered by point index and the
+// aggregated JSON is byte-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/sweep.hpp"
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "rra/array_shape.hpp"
+
+namespace dim::accel {
+namespace {
+
+const char* kSweepLoop = R"(
+        .data
+arr:    .word 0
+        .space 512
+        .text
+main:   la $t0, arr
+        li $t1, 120
+        li $t2, 0
+        li $t3, 0
+loop:   sll $t4, $t3, 2
+        andi $t4, $t4, 255
+        addu $t5, $t0, $t4
+        lw $t6, 0($t5)
+        addu $t6, $t6, $t3
+        sw $t6, 0($t5)
+        addu $t2, $t2, $t6
+        addiu $t3, $t3, 1
+        bne $t3, $t1, loop
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+// A >= 16-point grid over shapes x slots x speculation on one program.
+std::vector<SweepPoint> grid_of(const asmblr::Program& program) {
+  std::vector<SweepPoint> points;
+  const rra::ArrayShape shapes[2] = {rra::ArrayShape::config1(), rra::ArrayShape::config2()};
+  int c = 0;
+  for (const rra::ArrayShape& shape : shapes) {
+    ++c;
+    for (size_t slots : {2, 8, 16, 64}) {
+      for (bool spec : {false, true}) {
+        SweepPoint p;
+        p.label = "C" + std::to_string(c) + "/slots" + std::to_string(slots) +
+                  (spec ? "/sp" : "/ns");
+        p.program = &program;
+        p.config = SystemConfig::with(shape, slots, spec);
+        p.run_baseline = true;
+        points.push_back(p);
+      }
+    }
+  }
+  return points;
+}
+
+TEST(SweepEngine, ResultsOrderedByPointIndex) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  ASSERT_GE(points.size(), 16u);
+  SweepEngine engine({/*threads=*/4});
+  const auto results = engine.run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, points[i].label);
+    EXPECT_TRUE(results[i].has_baseline);
+    EXPECT_TRUE(results[i].transparent) << points[i].label;
+    EXPECT_GT(results[i].accelerated.cycles, 0u);
+  }
+}
+
+TEST(SweepEngine, JsonByteIdenticalAcrossThreadCounts) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  ASSERT_GE(points.size(), 16u);
+
+  std::string json_by_threads[3];
+  int slot = 0;
+  for (unsigned threads : {1u, 4u, 7u}) {
+    SweepEngine engine({threads});
+    std::ostringstream out;
+    write_sweep_json(out, engine.run(points));
+    json_by_threads[slot++] = out.str();
+  }
+  EXPECT_FALSE(json_by_threads[0].empty());
+  EXPECT_EQ(json_by_threads[0], json_by_threads[1]);
+  EXPECT_EQ(json_by_threads[0], json_by_threads[2]);
+}
+
+TEST(SweepEngine, MatchesDirectMeasureSpeedup) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  SweepPoint p;
+  p.label = "direct";
+  p.program = &program;
+  p.config = SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  p.run_baseline = true;
+
+  SweepEngine engine({2});
+  const auto results = engine.run({p, p});
+  const SpeedupResult direct = measure_speedup(program, p.config);
+  for (const SweepResult& r : results) {
+    EXPECT_EQ(r.accelerated.cycles, direct.accelerated.cycles);
+    EXPECT_EQ(r.baseline.cycles, direct.baseline.cycles);
+    EXPECT_DOUBLE_EQ(r.speedup(), direct.speedup());
+  }
+}
+
+TEST(SweepEngine, PrecomputedBaselineIsShared) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  const AccelStats baseline = baseline_as_stats(program, sim::MachineConfig{});
+  SweepPoint p;
+  p.label = "shared-baseline";
+  p.program = &program;
+  p.config = SystemConfig::with(rra::ArrayShape::config1(), 16, false);
+  p.baseline = &baseline;
+
+  const auto results = SweepEngine({3}).run({p});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].has_baseline);
+  EXPECT_EQ(results[0].baseline.cycles, baseline.cycles);
+  EXPECT_GT(results[0].speedup(), 0.0);
+}
+
+TEST(SweepEngine, EmptyGridYieldsEmptyJsonDocument) {
+  SweepEngine engine;
+  const auto results = engine.run({});
+  EXPECT_TRUE(results.empty());
+  std::ostringstream out;
+  write_sweep_json(out, results);
+  EXPECT_EQ(out.str(), "{\n  \"points\": [\n  ]\n}\n");
+}
+
+TEST(SweepEngine, ZeroThreadOptionFallsBackToHardware) {
+  SweepEngine engine({0});
+  EXPECT_GE(engine.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace dim::accel

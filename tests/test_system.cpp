@@ -175,9 +175,108 @@ TEST(System, StatsAreInternallyConsistent) {
   // Every processor retirement is observed by DIM except branches absorbed
   // directly into a speculation extension.
   EXPECT_EQ(st.bt_observed + st.extensions, st.proc_instructions);
-  EXPECT_GE(st.rcache_hits, st.array_activations);
+  // Dispatch hits and array activations are the same event; misses count
+  // only untranslated sequence starts, which is where captures begin.
+  EXPECT_EQ(st.rcache_hits, st.array_activations);
+  EXPECT_GT(st.rcache_misses, 0u);
+  EXPECT_LT(st.rcache_misses, st.proc_instructions);
   EXPECT_GE(st.config_words_loaded, st.array_activations);  // >=1 word per activation
   EXPECT_GT(st.config_words_written, 0u);
+}
+
+TEST(System, ZeroSlotCacheChargesNoTranslationCost) {
+  // Regression: with cache_slots = 0 nothing is ever stored, so software-BT
+  // emulation (cycles per written configuration word) must charge nothing —
+  // the accelerated run must cost exactly the baseline.
+  const auto prog = asmblr::assemble(kLoopProgram);
+  SystemConfig cfg = SystemConfig::with(rra::ArrayShape::config2(), 0, true);
+  cfg.translation_cost_per_instr = 50;
+  const auto st = run_accelerated(prog, cfg);
+  const auto base = baseline_as_stats(prog, cfg.machine);
+  EXPECT_EQ(st.cycles, base.cycles);
+  EXPECT_EQ(st.config_words_written, 0u);
+  EXPECT_EQ(st.array_activations, 0u);
+}
+
+TEST(System, FailedExtensionSetsNoExtendAndStopsRetrying) {
+  // A loop body that exactly fills a 4-line, 1-ALU-per-line array: the
+  // detected configuration commits fully and resumes at its own branch, so
+  // the extension check arms — but replaying the four chained ops plus the
+  // branch needs a fifth row, so begin_extension must fail, latch
+  // no_extend, and never be retried (extensions stays 0).
+  const char* full_array_loop = R"(
+main:   li $t1, 200
+        li $t2, 0
+loop:   addu $t2, $t2, $t1
+        addu $t2, $t2, $t1
+        addu $t2, $t2, $t1
+        addiu $t1, $t1, -1
+        bnez $t1, loop
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(full_array_loop);
+  rra::ArrayShape narrow{4, 1, 1, 1};
+  AcceleratedSystem system(prog, SystemConfig::with(narrow, 64, true));
+  const AccelStats st = system.run();
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+  EXPECT_EQ(st.final_state.output, base.final_state.output);
+  EXPECT_GT(st.array_activations, 0u);
+  EXPECT_EQ(st.extensions, 0u);
+  bool saw_no_extend = false;
+  for (uint32_t pc : system.rcache().fifo_order()) {
+    const rra::Configuration* c = system.rcache().peek(pc);
+    if (c != nullptr && c->no_extend) saw_no_extend = true;
+  }
+  EXPECT_TRUE(saw_no_extend);
+}
+
+TEST(System, MisspecFlushThresholdCountsPerConfiguration) {
+  // An inner loop re-entered by an outer loop misspeculates once per inner
+  // exit. The configuration merges blocks four iterations deep, so the
+  // iteration count (122 = 4*30 + 2) is chosen so the exit branch falls on
+  // a branch merged INSIDE the configuration rather than on the processor
+  // at a config boundary. The bimodal counter never reaches the opposite
+  // saturation (one not-taken against a stream of takens), so with
+  // threshold 0 the config survives every misspeculation; with a threshold
+  // the flush fires once the per-configuration misspec count reaches it.
+  const char* nested = R"(
+main:   li $s0, 6              # outer iterations
+        li $s1, 0
+outer:  li $t1, 122            # inner iterations
+        li $t2, 0
+inner:  sll $t4, $t2, 1
+        xor $t5, $t4, $t1
+        addu $t2, $t2, $t5
+        addiu $t1, $t1, -1
+        bnez $t1, inner
+        addu $s1, $s1, $t2
+        addiu $s0, $s0, -1
+        bnez $s0, outer
+        move $a0, $s1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(nested);
+  SystemConfig lenient = SystemConfig::with(rra::ArrayShape::config3(), 64, true);
+  lenient.misspec_flush_threshold = 0;
+  const auto st0 = run_accelerated(prog, lenient);
+  EXPECT_GT(st0.misspeculations, 1u);  // one per inner-loop exit
+  EXPECT_EQ(st0.config_flushes, 0u);   // opposite saturation never reached
+
+  SystemConfig strict = lenient;
+  strict.misspec_flush_threshold = 3;
+  const auto st3 = run_accelerated(prog, strict);
+  EXPECT_GE(st3.config_flushes, 1u);
+  // Transparency is unaffected by the flush policy.
+  const auto base = baseline_as_stats(prog, sim::MachineConfig{});
+  EXPECT_EQ(st0.final_state.output, base.final_state.output);
+  EXPECT_EQ(st3.final_state.output, base.final_state.output);
 }
 
 }  // namespace

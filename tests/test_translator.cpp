@@ -356,6 +356,53 @@ TEST(Translator, SpeculationRequiresSaturatedCounter) {
   EXPECT_EQ(h.cache.lookup(0x100)->num_bbs, 2);
 }
 
+TEST(Translator, SpeculationDepthCountsBlocksBeyondTheFirst) {
+  // max_spec_bbs counts SPECULATIVE basic blocks merged beyond the entry
+  // block (the paper's "up to 3 basic blocks deep" speculation), so a
+  // configuration holds at most max_spec_bbs + 1 blocks in total. With
+  // max_spec_bbs = 2: two branches merge, the third ends the capture.
+  Harness h;
+  h.params.max_spec_bbs = 2;
+  Translator t(h.params, &h.cache, &h.predictor);
+  // Saturate every branch counter in the taken direction up front.
+  for (uint32_t pc : {0x110u, 0x118u, 0x120u}) {
+    h.predictor.update(pc, true);
+    h.predictor.update(pc, true);
+  }
+  t.observe(step_of(imm(Op::kAddiu, 8, 0, 1), 0x100));
+  t.observe(step_of(r3(Op::kAddu, 9, 8, 8), 0x104));
+  t.observe(step_of(r3(Op::kAddu, 10, 9, 8), 0x108));
+  t.observe(step_of(r3(Op::kAddu, 11, 10, 8), 0x10C));
+  t.observe(step_of(imm(Op::kBne, 0, 8, 4), 0x110, true));   // block 2 opens
+  t.observe(step_of(imm(Op::kAddiu, 12, 0, 2), 0x114));
+  t.observe(step_of(imm(Op::kBne, 0, 8, 4), 0x118, true));   // block 3 opens
+  t.observe(step_of(imm(Op::kAddiu, 13, 0, 3), 0x11C));
+  EXPECT_TRUE(t.capturing());
+  t.observe(step_of(imm(Op::kBne, 0, 8, 4), 0x120, true));   // depth spent: ends capture
+  EXPECT_FALSE(t.capturing());
+  const rra::Configuration* c = h.cache.peek(0x100);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->num_bbs, 3);  // max_spec_bbs + 1 total
+  EXPECT_EQ(c->end_pc, 0x120u);
+}
+
+TEST(Translator, StartCandidateMissIsCounted) {
+  // The translator registers exactly one rcache miss per untranslated
+  // sequence-start candidate; plain observation of the body does not count.
+  Harness h;
+  Translator t(h.params, &h.cache, &h.predictor);
+  t.observe(step_of(imm(Op::kAddiu, 8, 0, 1), 0x100));  // start candidate: miss
+  t.observe(step_of(r3(Op::kAddu, 9, 8, 8), 0x104));
+  t.observe(step_of(r3(Op::kAddu, 10, 9, 8), 0x108));
+  t.observe(step_of(r3(Op::kAddu, 11, 10, 8), 0x10C));
+  EXPECT_EQ(h.cache.misses(), 1u);
+  t.observe(step_of(imm(Op::kBne, 0, 8, -5), 0x110, true));  // stores the config
+  // Re-encountering the now-cached start counts no further miss.
+  t.observe(step_of(imm(Op::kAddiu, 8, 0, 1), 0x100));
+  EXPECT_EQ(h.cache.misses(), 1u);
+  EXPECT_EQ(t.stats().captures_started, 1u);
+}
+
 TEST(Translator, SpeculationDisabledNeverMerges) {
   Harness h;
   h.params.speculation = false;

@@ -5,7 +5,9 @@
 // chosen array shape. The offline counterpart of the paper's §5.1
 // analysis — useful to size an array for a binary before running it.
 //
-// Usage: dimsim-analyze file.s [--config 1|2|3]
+// Usage: dimsim-analyze file.s [--config 1|2|3] [--json]
+// With --json the per-block plan and the totals are emitted as one JSON
+// document on stdout (machine-readable counterpart of the table).
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -37,19 +39,22 @@ struct BlockPlan {
 int main(int argc, char** argv) {
   std::string input;
   int config_id = 2;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
       config_id = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      json = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3]\n");
+      std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3] [--json]\n");
       return 2;
     } else {
       input = arg;
     }
   }
   if (input.empty()) {
-    std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3]\n");
+    std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3] [--json]\n");
     return 2;
   }
   std::ifstream in(input);
@@ -133,6 +138,25 @@ int main(int argc, char** argv) {
     total_translated += plan.translated;
     if (plan.cacheable) ++cacheable;
     plans.push_back(plan);
+  }
+
+  if (json) {
+    std::printf("{\n  \"input\": \"%s\",\n  \"config\": %d,\n  \"lines\": %d,\n",
+                input.c_str(), config_id, shape.lines);
+    std::printf("  \"blocks\": [\n");
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const BlockPlan& p = plans[i];
+      std::printf("    {\"start\": %u, \"instructions\": %d, \"translated\": %d, "
+                  "\"rows\": %d, \"alu\": %d, \"mul\": %d, \"mem\": %d, "
+                  "\"cacheable\": %s}%s\n",
+                  p.start, p.instructions, p.translated, p.rows, p.alu, p.mul, p.mem,
+                  p.cacheable ? "true" : "false", i + 1 < plans.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"total_instructions\": %d,\n  \"total_translated\": %d,\n"
+                "  \"cacheable_blocks\": %d\n}\n",
+                total_instr, total_translated, cacheable);
+    return 0;
   }
 
   std::printf("static DIM analysis of %s against configuration #%d (%d lines)\n\n",
