@@ -64,23 +64,34 @@ int main(int argc, char** argv) {
   if (cli.points != 0 && cli.points < grid.size()) grid.resize(cli.points);
 
   // Parallel run vs single-threaded reference: same results, byte-identical
-  // JSON, wall-clock comparison logged.
-  const accel::SweepEngine engine({cli.threads});
+  // JSON, wall-clock comparison logged. Both runs collect per-point event
+  // profiles so the aggregated per-configuration summary is covered by the
+  // same determinism check.
+  accel::SweepOptions opts;
+  opts.threads = cli.threads;
+  opts.collect_profiles = true;
+  const accel::SweepEngine engine(opts);
   auto t0 = std::chrono::steady_clock::now();
   const auto results = engine.run(grid);
   const double parallel_s = seconds_since(t0);
 
+  accel::SweepOptions serial_opts = opts;
+  serial_opts.threads = 1;
   t0 = std::chrono::steady_clock::now();
-  const auto serial = accel::SweepEngine({1}).run(grid);
+  const auto serial = accel::SweepEngine(serial_opts).run(grid);
   const double serial_s = seconds_since(t0);
 
   require_transparent(results);
   std::ostringstream json_par, json_ser;
   accel::write_sweep_json(json_par, results);
   accel::write_sweep_json(json_ser, serial);
-  const bool identical = json_par.str() == json_ser.str();
+  std::ostringstream prof_par, prof_ser;
+  obs::write_profile_json(prof_par, accel::aggregate_profiles(results));
+  obs::write_profile_json(prof_ser, accel::aggregate_profiles(serial));
+  const bool identical = json_par.str() == json_ser.str() &&
+                         prof_par.str() == prof_ser.str();
   std::printf("sweep: %zu points, %u workers %.3fs, 1 worker %.3fs (%.2fx), "
-              "JSON byte-identical: %s\n",
+              "JSON + event profile byte-identical: %s\n",
               grid.size(), engine.threads(), parallel_s, serial_s,
               parallel_s > 0 ? serial_s / parallel_s : 0.0, identical ? "yes" : "NO");
   if (!identical) {

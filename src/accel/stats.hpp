@@ -14,11 +14,16 @@ struct AccelStats {
   uint64_t proc_instructions = 0;   // retired through the pipeline
   uint64_t array_instructions = 0;  // committed inside the array
 
-  // Time.
+  // Time. The array taxonomy is exhaustive: array_exec_cycles +
+  // reconfig_stall_cycles + array_dcache_stall_cycles +
+  // array_finalize_cycles + misspec_penalty_cycles == array_cycles.
   uint64_t cycles = 0;
   uint64_t proc_cycles = 0;
   uint64_t array_cycles = 0;
-  uint64_t reconfig_stall_cycles = 0;
+  uint64_t array_exec_cycles = 0;          // row evaluation
+  uint64_t reconfig_stall_cycles = 0;      // visible reconfiguration stalls
+  uint64_t array_dcache_stall_cycles = 0;  // load/store misses inside the array
+  uint64_t array_finalize_cycles = 0;      // write-back drain
   uint64_t misspec_penalty_cycles = 0;
 
   // Array / DIM events.

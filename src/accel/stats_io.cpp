@@ -1,5 +1,6 @@
 #include "accel/stats_io.hpp"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace dim::accel {
@@ -19,7 +20,10 @@ std::string json_escape(const std::string& s) {
       out.push_back('\\');
       out.push_back(c);
     } else if (static_cast<unsigned char>(c) < 0x20) {
-      out += "\\u0020";  // control chars degrade to a space escape
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
     } else {
       out.push_back(c);
     }
@@ -35,7 +39,10 @@ void write_json_fields(std::ostream& out, const AccelStats& stats,
   field(out, indent, "cycles", stats.cycles);
   field(out, indent, "proc_cycles", stats.proc_cycles);
   field(out, indent, "array_cycles", stats.array_cycles);
+  field(out, indent, "array_exec_cycles", stats.array_exec_cycles);
   field(out, indent, "reconfig_stall_cycles", stats.reconfig_stall_cycles);
+  field(out, indent, "array_dcache_stall_cycles", stats.array_dcache_stall_cycles);
+  field(out, indent, "array_finalize_cycles", stats.array_finalize_cycles);
   field(out, indent, "misspec_penalty_cycles", stats.misspec_penalty_cycles);
   field(out, indent, "array_activations", stats.array_activations);
   field(out, indent, "misspeculations", stats.misspeculations);
@@ -69,8 +76,12 @@ void write_report(std::ostream& out, const AccelStats& stats) {
       << " on processor, " << stats.array_instructions << " on array, "
       << std::setprecision(3) << 100.0 * stats.array_coverage() << "% coverage)\n";
   out << "cycles:       " << stats.cycles << " (" << stats.proc_cycles << " processor + "
-      << stats.array_cycles << " array; " << stats.reconfig_stall_cycles
-      << " reconfig stalls, " << stats.misspec_penalty_cycles << " misspec penalties)\n";
+      << stats.array_cycles << " array)\n";
+  out << "array cycles: " << stats.array_exec_cycles << " exec + "
+      << stats.reconfig_stall_cycles << " reconfig stalls + "
+      << stats.array_dcache_stall_cycles << " dcache stalls + "
+      << stats.array_finalize_cycles << " finalize + "
+      << stats.misspec_penalty_cycles << " misspec penalties\n";
   out << "array:        " << stats.array_activations << " activations, "
       << stats.misspeculations << " misspeculations, " << stats.config_flushes
       << " flushes, " << stats.extensions << " extensions\n";

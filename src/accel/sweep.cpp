@@ -10,18 +10,30 @@
 
 namespace dim::accel {
 
-SweepEngine::SweepEngine(SweepOptions options) : threads_(options.threads) {
+SweepEngine::SweepEngine(SweepOptions options)
+    : options_(options), threads_(options.threads) {
   if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
   if (threads_ == 0) threads_ = 1;  // hardware_concurrency may report 0
 }
 
 namespace {
 
-SweepResult run_point(const SweepPoint& point, size_t index) {
+SweepResult run_point(const SweepPoint& point, size_t index, bool collect_profile) {
   SweepResult result;
   result.index = index;
   result.label = point.label;
-  result.accelerated = run_accelerated(*point.program, point.config);
+  if (collect_profile) {
+    // Worker-private sink: overrides any user-supplied sink so nothing is
+    // shared across threads, and the profile is scheduling-independent.
+    obs::ProfilingSink sink;
+    SystemConfig config = point.config;
+    config.event_sink = &sink;
+    result.accelerated = run_accelerated(*point.program, config);
+    result.profile = sink.table();
+    result.has_profile = true;
+  } else {
+    result.accelerated = run_accelerated(*point.program, point.config);
+  }
   if (point.baseline != nullptr) {
     result.baseline = *point.baseline;
     result.has_baseline = true;
@@ -46,7 +58,9 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
   const unsigned workers =
       static_cast<unsigned>(std::min<size_t>(threads_, points.size()));
   if (workers <= 1) {
-    for (size_t i = 0; i < points.size(); ++i) results[i] = run_point(points[i], i);
+    for (size_t i = 0; i < points.size(); ++i) {
+      results[i] = run_point(points[i], i, options_.collect_profiles);
+    }
     return results;
   }
 
@@ -62,7 +76,7 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
       try {
-        results[i] = run_point(points[i], i);
+        results[i] = run_point(points[i], i, options_.collect_profiles);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -97,6 +111,14 @@ void write_sweep_json(std::ostream& out, const std::vector<SweepResult>& results
     out << "      }\n    }";
   }
   out << "\n  ]\n}\n";
+}
+
+obs::ProfileTable aggregate_profiles(const std::vector<SweepResult>& results) {
+  obs::ProfileTable total;
+  for (const SweepResult& r : results) {
+    if (r.has_profile) total.merge(r.profile);
+  }
+  return total;
 }
 
 }  // namespace dim::accel

@@ -17,6 +17,7 @@
 #include "accel/stats.hpp"
 #include "accel/system.hpp"
 #include "asm/program.hpp"
+#include "obs/profile.hpp"
 
 namespace dim::accel {
 
@@ -43,6 +44,11 @@ struct SweepResult {
   // Transparency check (only meaningful with a baseline): identical
   // program output and final memory image.
   bool transparent = true;
+  // Per-configuration event summary of the accelerated run (only with
+  // SweepOptions::collect_profiles; folded by a worker-private sink, so
+  // it is identical for any thread count).
+  obs::ProfileTable profile;
+  bool has_profile = false;
 
   double speedup() const {
     return (!has_baseline || accelerated.cycles == 0)
@@ -54,6 +60,11 @@ struct SweepResult {
 
 struct SweepOptions {
   unsigned threads = 0;  // 0 = std::thread::hardware_concurrency()
+  // Collect a per-point obs::ProfileTable (configuration-lifecycle event
+  // summary) for every accelerated run. Each worker attaches its own
+  // ProfilingSink — any event_sink set on a point's SystemConfig is
+  // overridden while collecting, so no sink is ever shared across threads.
+  bool collect_profiles = false;
 };
 
 class SweepEngine {
@@ -67,8 +78,10 @@ class SweepEngine {
   std::vector<SweepResult> run(const std::vector<SweepPoint>& points) const;
 
   unsigned threads() const { return threads_; }
+  bool collect_profiles() const { return options_.collect_profiles; }
 
  private:
+  SweepOptions options_;
   unsigned threads_;
 };
 
@@ -80,5 +93,10 @@ class SweepEngine {
 // identical to the single-run write_json output. Deterministic: depends
 // only on the results vector.
 void write_sweep_json(std::ostream& out, const std::vector<SweepResult>& results);
+
+// Merges every per-point profile into one table. Profiles are summed, so
+// the aggregate (and its obs::write_profile_json serialization) is
+// byte-identical for any worker count.
+obs::ProfileTable aggregate_profiles(const std::vector<SweepResult>& results);
 
 }  // namespace dim::accel

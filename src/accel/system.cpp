@@ -28,6 +28,10 @@ AcceleratedSystem::AcceleratedSystem(const asmblr::Program& program,
   rcache_ = std::make_unique<bt::ReconfigCache>(config_.cache_slots,
                                                 config_.cache_replacement);
   translator_ = std::make_unique<bt::Translator>(tparams, rcache_.get(), &predictor_);
+
+  events_.attach(config_.event_sink, this);
+  rcache_->set_event_stream(&events_);
+  translator_->set_event_stream(&events_);
 }
 
 AcceleratedSystem::~AcceleratedSystem() = default;
@@ -45,12 +49,29 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
   stats.array_instructions += static_cast<uint64_t>(outcome.committed_ops);
   stats.instructions += static_cast<uint64_t>(outcome.committed_ops);
   array_cycle_acc_ += outcome.total_cycles();
+  stats.array_exec_cycles += outcome.exec_cycles;
   stats.reconfig_stall_cycles += outcome.reconfig_stall_cycles;
+  stats.array_dcache_stall_cycles += outcome.dcache_stall_cycles;
+  stats.array_finalize_cycles += outcome.finalize_cycles;
   stats.misspec_penalty_cycles += outcome.misspec_penalty_cycles;
   stats.array_alu_ops += static_cast<uint64_t>(outcome.alu_ops);
   stats.array_mul_ops += static_cast<uint64_t>(outcome.mul_ops);
   stats.array_mem_ops += static_cast<uint64_t>(outcome.mem_ops);
   stats.config_words_loaded += static_cast<uint64_t>(config->instruction_count());
+
+  if (events_.enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kArrayActivation;
+    e.config_pc = config_pc;
+    e.ops = outcome.committed_ops;
+    e.depth = outcome.committed_bbs;
+    e.exec_cycles = outcome.exec_cycles;
+    e.reconfig_stall_cycles = outcome.reconfig_stall_cycles;
+    e.dcache_stall_cycles = outcome.dcache_stall_cycles;
+    e.finalize_cycles = outcome.finalize_cycles;
+    e.misspec_penalty_cycles = outcome.misspec_penalty_cycles;
+    events_.emit(e);
+  }
 
   // Update the bimodal counters with every branch the array resolved.
   for (const rra::BranchOutcome& b : outcome.branch_outcomes) {
@@ -59,6 +80,14 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
 
   if (outcome.misspeculated) {
     ++stats.misspeculations;
+    if (events_.enabled()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kMisspeculation;
+      e.config_pc = config_pc;
+      e.branch_pc = outcome.misspec_branch_pc;
+      e.depth = outcome.committed_bbs;
+      events_.emit(e);
+    }
     ++config->misspec_count;
     // Flush when the counter reached the opposite saturation for the
     // mispredicted direction, or after the safety cap.
@@ -98,6 +127,7 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
 
 AccelStats AcceleratedSystem::run() {
   AccelStats stats;
+  running_stats_ = &stats;  // event stamps read the live instruction count
   const uint64_t max_instructions = config_.machine.max_instructions;
 
   while (!state_.halted && stats.instructions < max_instructions) {
@@ -171,6 +201,7 @@ AccelStats AcceleratedSystem::run() {
   stats.config_words_written = rcache_->words_written();
   stats.final_state = state_;
   stats.memory_hash = memory_.content_hash();
+  running_stats_ = nullptr;
   return stats;
 }
 

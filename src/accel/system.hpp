@@ -18,6 +18,7 @@
 #include "bt/translator.hpp"
 #include "accel/stats.hpp"
 #include "mem/memory.hpp"
+#include "obs/event.hpp"
 #include "rra/array_exec.hpp"
 #include "rra/array_shape.hpp"
 #include "sim/executor.hpp"
@@ -54,6 +55,11 @@ struct SystemConfig {
   // (warp-processing-style CAD) — see bench_ablation_btcost.
   uint64_t translation_cost_per_instr = 0;
   bool array_enabled = true;  // false = plain baseline run (for A/B tests)
+  // Configuration-lifecycle event tracing (see obs/event.hpp). Not owned;
+  // must outlive the system. Null (the default) disables tracing at the
+  // cost of one pointer test per event site — observation only, so the
+  // simulated cycle/instruction counts are identical either way.
+  obs::EventSink* event_sink = nullptr;
 
   static SystemConfig with(const rra::ArrayShape& s, size_t slots, bool spec) {
     SystemConfig c;
@@ -64,7 +70,7 @@ struct SystemConfig {
   }
 };
 
-class AcceleratedSystem {
+class AcceleratedSystem : private obs::RunClock {
  public:
   AcceleratedSystem(const asmblr::Program& program, const SystemConfig& config);
   ~AcceleratedSystem();
@@ -79,6 +85,13 @@ class AcceleratedSystem {
 
  private:
   void execute_on_array(rra::Configuration* config, AccelStats& stats);
+
+  // obs::RunClock — the stamp every emitted event carries.
+  uint64_t retired_instructions() const override {
+    return running_stats_ != nullptr ? running_stats_->instructions : 0;
+  }
+  uint64_t clock_proc_cycles() const override { return pipeline_.cycles(); }
+  uint64_t clock_array_cycles() const override { return array_cycle_acc_; }
 
   SystemConfig config_;
   mem::Memory memory_;
@@ -96,6 +109,12 @@ class AcceleratedSystem {
   uint32_t extension_branch_pc_ = 0;
 
   uint64_t array_cycle_acc_ = 0;  // array cycles (outside the pipeline model)
+
+  // Event tracing: stamped stream shared with the translator and rcache;
+  // points at config_.event_sink (null = off). running_stats_ is the live
+  // counter block of the current run() for the instruction stamp.
+  obs::EventStream events_;
+  const AccelStats* running_stats_ = nullptr;
 };
 
 // Runs `program` both on the plain MIPS and on MIPS+DIM+array with the same

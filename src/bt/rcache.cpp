@@ -2,6 +2,15 @@
 
 namespace dim::bt {
 
+void ReconfigCache::emit(obs::EventKind kind, uint32_t pc, int32_t words) {
+  if (events_ == nullptr) return;
+  obs::Event e;
+  e.kind = kind;
+  e.config_pc = pc;
+  e.ops = words;
+  events_->emit(e);
+}
+
 rra::Configuration* ReconfigCache::lookup(uint32_t pc) {
   auto it = entries_.find(pc);
   if (it == entries_.end()) return nullptr;  // misses are noted by the translator
@@ -19,9 +28,14 @@ void ReconfigCache::insert(rra::Configuration config) {
   auto it = entries_.find(pc);
   if (it != entries_.end()) {
     // Replacement (e.g. a speculation extension): the entry is rewritten in
-    // place — a real cache write — and keeps its FIFO position.
+    // place — a real cache write. FIFO keeps the original insertion
+    // position; LRU treats the rewrite as a use and refreshes recency.
     words_written_ += words;
     *it->second = std::move(config);
+    if (policy_ == Replacement::kLru) {
+      order_.splice(order_.end(), order_, order_pos_.find(pc)->second);
+    }
+    emit(obs::EventKind::kRcacheInsert, pc, static_cast<int32_t>(words));
     return;
   }
   if (slots_ == 0) return;  // nothing stored, nothing written
@@ -29,7 +43,10 @@ void ReconfigCache::insert(rra::Configuration config) {
     const uint32_t victim = order_.front();
     order_.pop_front();
     order_pos_.erase(victim);
-    entries_.erase(victim);
+    auto victim_it = entries_.find(victim);
+    emit(obs::EventKind::kRcacheEvict, victim,
+         victim_it->second->instruction_count());
+    entries_.erase(victim_it);
     ++evictions_;
   }
   words_written_ += words;
@@ -37,11 +54,13 @@ void ReconfigCache::insert(rra::Configuration config) {
   order_.push_back(pc);
   order_pos_.emplace(pc, std::prev(order_.end()));
   ++insertions_;
+  emit(obs::EventKind::kRcacheInsert, pc, static_cast<int32_t>(words));
 }
 
 void ReconfigCache::flush(uint32_t pc) {
   auto it = entries_.find(pc);
   if (it == entries_.end()) return;
+  emit(obs::EventKind::kRcacheFlush, pc, it->second->instruction_count());
   entries_.erase(it);
   auto pos = order_pos_.find(pc);
   order_.erase(pos->second);

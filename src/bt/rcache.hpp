@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "rra/configuration.hpp"
 
 namespace dim::bt {
@@ -59,8 +60,14 @@ class ReconfigCache {
   // words_written() grows only for configurations actually stored: a
   // zero-slot cache writes nothing (and must charge nothing downstream —
   // see SystemConfig::translation_cost_per_instr); a replacement rewrites
-  // the entry in place and therefore does count.
+  // the entry in place and therefore does count. Under FIFO an in-place
+  // rewrite (e.g. a speculation extension) keeps the entry's insertion
+  // position; under LRU the rewrite is a use and refreshes its recency.
   void insert(rra::Configuration config);
+
+  // Attaches the lifecycle event stream (insert / evict / flush events).
+  // Null (the default) disables emission.
+  void set_event_stream(obs::EventStream* events) { events_ = events; }
 
   // Removes one configuration (speculation flush).
   void flush(uint32_t pc);
@@ -87,8 +94,11 @@ class ReconfigCache {
  private:
   using OrderList = std::list<uint32_t>;
 
+  void emit(obs::EventKind kind, uint32_t pc, int32_t words);
+
   size_t slots_;
   Replacement policy_;
+  obs::EventStream* events_ = nullptr;  // not owned; null = tracing off
   std::unordered_map<uint32_t, std::unique_ptr<rra::Configuration>> entries_;
   // Eviction order (front = next victim) plus a PC -> node map so hits,
   // flushes and evictions never scan: LRU refresh is a splice, O(1).

@@ -199,21 +199,42 @@ Translator::Translator(const TranslatorParams& params, ReconfigCache* cache,
                        BimodalPredictor* predictor)
     : params_(params), cache_(cache), predictor_(predictor) {}
 
+void Translator::emit(obs::EventKind kind, uint32_t config_pc, int32_t ops,
+                      int32_t depth) {
+  if (events_ == nullptr) return;
+  obs::Event e;
+  e.kind = kind;
+  e.config_pc = config_pc;
+  e.ops = ops;
+  e.depth = depth;
+  events_->emit(e);
+}
+
 void Translator::finalize_capture(uint32_t end_pc) {
   if (!builder_) return;
   if (builder_->size() >= params_.min_instructions) {
+    emit(obs::EventKind::kConfigFinalized, builder_->start_pc(),
+         builder_->size(), builder_->num_bbs());
+    if (extending_) {
+      ++stats_.extensions_completed;
+      emit(obs::EventKind::kExtensionCompleted, builder_->start_pc(),
+           builder_->size(), builder_->num_bbs());
+    }
     cache_->insert(builder_->finalize(end_pc));
     ++stats_.configs_inserted;
-    if (extending_) ++stats_.extensions_completed;
   } else {
     ++stats_.too_short;
+    emit(obs::EventKind::kCaptureTooShort, builder_->start_pc(), builder_->size());
   }
   builder_.reset();
   extending_ = false;
 }
 
 void Translator::abort_capture() {
-  if (builder_) ++stats_.captures_aborted;
+  if (builder_) {
+    ++stats_.captures_aborted;
+    emit(obs::EventKind::kCaptureAborted, builder_->start_pc(), builder_->size());
+  }
   builder_.reset();
   extending_ = false;
 }
@@ -237,6 +258,8 @@ bool Translator::begin_extension(const rra::Configuration& config,
   builder_ = std::move(builder);
   extending_ = true;
   ++stats_.captures_started;
+  emit(obs::EventKind::kExtensionBegun, config.start_pc,
+       config.instruction_count(), config.num_bbs);
   return true;
 }
 
@@ -287,6 +310,7 @@ void Translator::observe(const sim::StepInfo& info) {
       cache_->note_miss();
       builder_.emplace(info.pc, params_);
       ++stats_.captures_started;
+      emit(obs::EventKind::kCaptureStarted, info.pc);
       start_pending_ = false;
       if (!builder_->try_add(i, info.pc)) abort_capture();
     } else if (is_flow) {

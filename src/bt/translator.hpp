@@ -29,6 +29,7 @@
 #include "bt/predictor.hpp"
 #include "bt/rcache.hpp"
 #include "isa/instruction.hpp"
+#include "obs/event.hpp"
 #include "rra/array_shape.hpp"
 #include "rra/configuration.hpp"
 #include "sim/cpu_state.hpp"
@@ -143,9 +144,15 @@ class Translator {
   const TranslatorStats& stats() const { return stats_; }
   const TranslatorParams& params() const { return params_; }
 
+  // Attaches the capture-lifecycle event stream (started / aborted /
+  // too-short / finalized, extension begun / completed). Null disables.
+  void set_event_stream(obs::EventStream* events) { events_ = events; }
+
  private:
   void finalize_capture(uint32_t end_pc);
   void abort_capture();
+  void emit(obs::EventKind kind, uint32_t config_pc, int32_t ops = 0,
+            int32_t depth = 0);
 
   TranslatorParams params_;
   ReconfigCache* cache_;
@@ -154,6 +161,7 @@ class Translator {
   bool start_pending_ = true;  // program entry starts a sequence
   bool extending_ = false;
   TranslatorStats stats_;
+  obs::EventStream* events_ = nullptr;  // not owned; null = tracing off
 };
 
 }  // namespace dim::bt

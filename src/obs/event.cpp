@@ -1,0 +1,44 @@
+#include "obs/event.hpp"
+
+namespace dim::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCaptureStarted: return "capture_started";
+    case EventKind::kCaptureAborted: return "capture_aborted";
+    case EventKind::kCaptureTooShort: return "capture_too_short";
+    case EventKind::kConfigFinalized: return "config_finalized";
+    case EventKind::kRcacheInsert: return "rcache_insert";
+    case EventKind::kRcacheEvict: return "rcache_evict";
+    case EventKind::kRcacheFlush: return "rcache_flush";
+    case EventKind::kArrayActivation: return "array_activation";
+    case EventKind::kMisspeculation: return "misspeculation";
+    case EventKind::kExtensionBegun: return "extension_begun";
+    case EventKind::kExtensionCompleted: return "extension_completed";
+  }
+  return "unknown";
+}
+
+void write_events_jsonl(std::ostream& out, const std::vector<Event>& events) {
+  for (const Event& e : events) {
+    out << "{\"event\": \"" << event_kind_name(e.kind) << "\", \"config_pc\": "
+        << e.config_pc << ", \"instructions\": " << e.instructions
+        << ", \"proc_cycles\": " << e.proc_cycles << ", \"array_cycles\": "
+        << e.array_cycles;
+    if (e.kind == EventKind::kMisspeculation) {
+      out << ", \"branch_pc\": " << e.branch_pc;
+    }
+    if (e.depth != 0) out << ", \"depth\": " << e.depth;
+    if (e.ops != 0) out << ", \"ops\": " << e.ops;
+    if (e.kind == EventKind::kArrayActivation) {
+      out << ", \"exec_cycles\": " << e.exec_cycles
+          << ", \"reconfig_stall_cycles\": " << e.reconfig_stall_cycles
+          << ", \"dcache_stall_cycles\": " << e.dcache_stall_cycles
+          << ", \"finalize_cycles\": " << e.finalize_cycles
+          << ", \"misspec_penalty_cycles\": " << e.misspec_penalty_cycles;
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace dim::obs

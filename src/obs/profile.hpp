@@ -1,0 +1,111 @@
+// Per-configuration aggregation of the DIM event stream.
+//
+// A ProfileTable folds events into one ConfigProfile per configuration
+// start PC: activation count, committed ops, the full cycle breakdown
+// (exec / reconfig / dcache / finalize / misspec — the five components sum
+// exactly to the configuration's contribution to array_cycles),
+// misspeculation rate, and cache churn (insertions / evictions / flushes,
+// i.e. how often the entry was thrown away and re-translated). Tables merge
+// additively, so per-point tables from a sweep aggregate deterministically
+// regardless of worker scheduling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dim::obs {
+
+struct ConfigProfile {
+  uint32_t start_pc = 0;
+
+  // Execution.
+  uint64_t activations = 0;
+  uint64_t committed_ops = 0;
+  uint64_t misspeculations = 0;
+
+  // Cycle breakdown (sums to this configuration's array cycles).
+  uint64_t exec_cycles = 0;
+  uint64_t reconfig_stall_cycles = 0;
+  uint64_t dcache_stall_cycles = 0;
+  uint64_t finalize_cycles = 0;
+  uint64_t misspec_penalty_cycles = 0;
+
+  // Translation lifecycle / cache churn.
+  uint64_t captures_started = 0;
+  uint64_t captures_aborted = 0;
+  uint64_t captures_too_short = 0;
+  uint64_t finalizations = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+  uint64_t extensions_begun = 0;
+  uint64_t extensions_completed = 0;
+
+  uint64_t array_cycles() const {
+    return exec_cycles + reconfig_stall_cycles + dcache_stall_cycles +
+           finalize_cycles + misspec_penalty_cycles;
+  }
+  double misspec_rate() const {
+    return activations == 0 ? 0.0
+                            : static_cast<double>(misspeculations) /
+                                  static_cast<double>(activations);
+  }
+};
+
+class ProfileTable {
+ public:
+  // Folds one event into the profile keyed by its config_pc.
+  void add(const Event& event);
+  void add_all(const std::vector<Event>& events) {
+    for (const Event& e : events) add(e);
+  }
+
+  // Additive merge (sweep aggregation). Commutative, so the aggregate is
+  // independent of worker scheduling.
+  void merge(const ProfileTable& other);
+
+  size_t size() const { return profiles_.size(); }
+  bool empty() const { return profiles_.empty(); }
+  const ConfigProfile* find(uint32_t start_pc) const;
+
+  // Ascending start PC (the deterministic JSON order).
+  std::vector<ConfigProfile> by_start_pc() const;
+  // Descending array cycles, ties broken by ascending start PC (the
+  // "hot configurations" order).
+  std::vector<ConfigProfile> by_cycles() const;
+
+  // Sum of every profile's cycle contribution == the run's array_cycles.
+  uint64_t total_array_cycles() const;
+  uint64_t total_activations() const;
+
+ private:
+  std::map<uint32_t, ConfigProfile> profiles_;  // ordered => stable export
+};
+
+// A sink that folds the stream directly into a table (no event storage) —
+// the low-memory path used by sweeps.
+class ProfilingSink : public EventSink {
+ public:
+  void emit(const Event& event) override { table_.add(event); }
+  const ProfileTable& table() const { return table_; }
+
+ private:
+  ProfileTable table_;
+};
+
+// {"configs": [...]} sorted by start PC. Deterministic: depends only on
+// the table contents.
+void write_profile_json(std::ostream& out, const ProfileTable& table);
+
+// Human-readable hot-configuration table: top `top_n` configurations by
+// array cycles (0 = all), with the per-config cycle breakdown and a totals
+// row over the WHOLE table (so the totals match the run even when rows are
+// truncated).
+void write_profile_table(std::ostream& out, const ProfileTable& table,
+                         size_t top_n = 0);
+
+}  // namespace dim::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bitset>
 
 #include "common/bitutil.hpp"
 #include "sim/executor.hpp"
@@ -78,6 +79,10 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
   int last_row = -1;
   uint32_t next_pc = config.end_pc;
   int committed_bbs = config.num_bbs;
+  // Context registers actually written by committed ops: on a partial
+  // (misspeculated) commit only these drain through the write ports —
+  // the squashed suffix never produced a result to write back.
+  std::bitset<kNumCtxRegs> committed_writes;
 
   for (const ArrayOp& op : config.ops) {
     const Instr& i = op.instr;
@@ -115,7 +120,10 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
           uint32_t value = store_buffer.load(addr, width, memory);
           if (i.op == Op::kLb) value = static_cast<uint32_t>(static_cast<int8_t>(value));
           if (i.op == Op::kLh) value = static_cast<uint32_t>(static_cast<int16_t>(value));
-          if (i.rt != 0) ctx[i.rt] = value;
+          if (i.rt != 0) {
+            ctx[i.rt] = value;
+            committed_writes.set(i.rt);
+          }
         }
         break;
       }
@@ -124,18 +132,29 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
         const uint64_t product = sim::mult_eval(i.op, rs, rt);
         ctx[kCtxLo] = static_cast<uint32_t>(product);
         ctx[kCtxHi] = static_cast<uint32_t>(product >> 32);
+        committed_writes.set(kCtxLo);
+        committed_writes.set(kCtxHi);
         break;
       }
       default: {
         ++out.alu_ops;
         if (i.op == Op::kMfhi) {
-          if (i.rd != 0) ctx[i.rd] = ctx[kCtxHi];
+          if (i.rd != 0) {
+            ctx[i.rd] = ctx[kCtxHi];
+            committed_writes.set(i.rd);
+          }
         } else if (i.op == Op::kMflo) {
-          if (i.rd != 0) ctx[i.rd] = ctx[kCtxLo];
+          if (i.rd != 0) {
+            ctx[i.rd] = ctx[kCtxLo];
+            committed_writes.set(i.rd);
+          }
         } else {
           const uint32_t value = sim::alu_eval(i, rs, rt);
           const int rd = isa::dest_reg(i);
-          if (rd > 0) ctx[static_cast<size_t>(rd)] = value;
+          if (rd > 0) {
+            ctx[static_cast<size_t>(rd)] = value;
+            committed_writes.set(static_cast<size_t>(rd));
+          }
         }
         break;
       }
@@ -156,9 +175,15 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
   out.committed_bbs = committed_bbs;
   out.exec_cycles = rows_exec_cycles(config, last_row, timing);
   // Drain of the final write-backs, limited by the register-bank write
-  // ports (earlier rows' results retire during execution).
+  // ports (earlier rows' results retire during execution). On a partial
+  // (misspeculated) commit only the registers actually written by the
+  // committed prefix drain — the squashed suffix, which may hold most of
+  // the configuration's output_regs, produced nothing to write back.
+  const int drained_regs = out.misspeculated
+                               ? static_cast<int>(committed_writes.count())
+                               : config.output_regs;
   const int64_t port_cycles =
-      ceil_div(config.output_regs, timing.regfile_write_ports > 0 ? timing.regfile_write_ports : 1);
+      ceil_div(drained_regs, timing.regfile_write_ports > 0 ? timing.regfile_write_ports : 1);
   out.finalize_cycles = static_cast<uint64_t>(
       port_cycles > timing.finalize_cycles ? port_cycles : timing.finalize_cycles);
   if (out.misspeculated) {

@@ -225,6 +225,54 @@ TEST(ArrayTiming, ReconfigStallHiddenByOverlap) {
   EXPECT_EQ(reconfig_stall_cycles(c, t), 4u);
 }
 
+TEST(ArrayTiming, MisspeculatedCommitDrainsOnlyCommittedWrites) {
+  // Regression: the write-back drain used to be billed for the FULL
+  // configuration's output_regs even when a misspeculation squashed the
+  // suffix. A partial commit drains only the registers the committed prefix
+  // actually wrote.
+  bt::ConfigBuilder b(0x100, default_params());
+  ASSERT_TRUE(b.try_add(imm(Op::kAddiu, 8, 0, 0), 0x100));             // t0 = 0 (1 write)
+  ASSERT_TRUE(b.try_add_branch(imm(Op::kBne, 0, 8, 9), 0x104, true));  // predicted T; actual NT
+  // Squashed suffix holds most of the configuration's outputs.
+  for (int r = 9; r <= 14; ++r) {
+    ASSERT_TRUE(b.try_add(imm(Op::kAddiu, r, 0, static_cast<int16_t>(r)),
+                          0x12C + 4 * static_cast<uint32_t>(r - 9)));
+  }
+  const Configuration c = b.finalize(0x144);
+  ASSERT_GE(c.output_regs, 7);  // t0..t6 are all outputs of the full config
+
+  ArrayTimingParams t;
+  t.regfile_write_ports = 1;  // makes the drain cost visible per register
+  sim::CpuState s;
+  mem::Memory m;
+  const ArrayExecOutcome out = execute_configuration(c, s, m, nullptr, t);
+  ASSERT_TRUE(out.misspeculated);
+  EXPECT_EQ(out.committed_ops, 2);  // addiu + the resolving branch
+  // One committed register write -> one drain cycle (== the floor), not the
+  // ~7 cycles the full output set would cost.
+  EXPECT_EQ(out.finalize_cycles, 1u);
+}
+
+TEST(ArrayTiming, FullCommitStillDrainsAllOutputs) {
+  // Companion to the regression above: a correct full commit is unchanged —
+  // it drains every output register of the configuration.
+  bt::ConfigBuilder b(0x100, default_params());
+  for (int r = 8; r <= 14; ++r) {
+    ASSERT_TRUE(b.try_add(imm(Op::kAddiu, r, 0, static_cast<int16_t>(r)),
+                          0x100 + 4 * static_cast<uint32_t>(r - 8)));
+  }
+  const Configuration c = b.finalize(0x11C);
+  ASSERT_EQ(c.output_regs, 7);
+
+  ArrayTimingParams t;
+  t.regfile_write_ports = 1;
+  sim::CpuState s;
+  mem::Memory m;
+  const ArrayExecOutcome out = execute_configuration(c, s, m, nullptr, t);
+  ASSERT_FALSE(out.misspeculated);
+  EXPECT_EQ(out.finalize_cycles, 7u);  // ceil(7 outputs / 1 port)
+}
+
 TEST(ArrayTiming, DcacheMissesStallArray) {
   bt::ConfigBuilder b(0x100, default_params());
   ASSERT_TRUE(b.try_add(imm(Op::kLw, 9, 28, 0), 0x100));

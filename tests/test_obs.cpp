@@ -1,0 +1,239 @@
+// DIM event tracing (obs/): stream contents, clock stamps, the
+// per-configuration aggregation table, and the observation-only contract
+// (attaching a sink never changes simulated results).
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "accel/stats_io.hpp"
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
+
+namespace dim {
+namespace {
+
+// A loop hot enough for DIM to capture, insert, and repeatedly activate,
+// with a conditional exit so at least one misspeculation occurs.
+const char* kHotLoop = R"(
+        .data
+buf:    .space 256
+        .text
+main:   la $s0, buf
+        li $s1, 40
+        li $s2, 0
+loop:   addiu $s1, $s1, -1
+        sll $t0, $s1, 2
+        andi $t0, $t0, 255
+        addu $t1, $s0, $t0
+        lw $t2, 0($t1)
+        addu $t2, $t2, $s1
+        sw $t2, 0($t1)
+        addu $s2, $s2, $t2
+        bnez $s1, loop
+        move $a0, $s2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+accel::AccelStats traced_run(const asmblr::Program& prog, obs::RecordingSink* sink,
+                             size_t cache_slots = 64) {
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), cache_slots, true);
+  cfg.event_sink = sink;
+  return accel::run_accelerated(prog, cfg);
+}
+
+TEST(ObsEvents, LifecycleEventsAreEmitted) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto st = traced_run(prog, &sink);
+  ASSERT_FALSE(sink.events().empty());
+
+  uint64_t starts = 0, finalized = 0, inserts = 0, activations = 0, misspecs = 0;
+  for (const obs::Event& e : sink.events()) {
+    switch (e.kind) {
+      case obs::EventKind::kCaptureStarted: ++starts; break;
+      case obs::EventKind::kConfigFinalized: ++finalized; break;
+      case obs::EventKind::kRcacheInsert: ++inserts; break;
+      case obs::EventKind::kArrayActivation: ++activations; break;
+      case obs::EventKind::kMisspeculation: ++misspecs; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_GT(finalized, 0u);
+  EXPECT_EQ(activations, st.array_activations);
+  EXPECT_EQ(misspecs, st.misspeculations);
+  EXPECT_GE(inserts, st.rcache_insertions);  // in-place rewrites also emit
+}
+
+TEST(ObsEvents, StampsAreMonotonicAndBounded) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto st = traced_run(prog, &sink);
+  uint64_t last_instr = 0, last_proc = 0, last_array = 0;
+  for (const obs::Event& e : sink.events()) {
+    EXPECT_GE(e.instructions, last_instr);
+    EXPECT_GE(e.proc_cycles, last_proc);
+    EXPECT_GE(e.array_cycles, last_array);
+    last_instr = e.instructions;
+    last_proc = e.proc_cycles;
+    last_array = e.array_cycles;
+  }
+  EXPECT_LE(last_instr, st.instructions);
+  EXPECT_LE(last_proc, st.proc_cycles);
+  EXPECT_LE(last_array, st.array_cycles);
+}
+
+TEST(ObsEvents, MisspeculationCarriesBranchPc) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto st = traced_run(prog, &sink);
+  ASSERT_GT(st.misspeculations, 0u) << "test program must misspeculate";
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kMisspeculation) {
+      EXPECT_NE(e.branch_pc, 0u);
+      EXPECT_GE(e.depth, 1);
+    }
+  }
+}
+
+TEST(ObsEvents, TracingIsObservationOnly) {
+  // The whole point of a transparent observer: stats with a sink attached
+  // are byte-identical (as JSON) to stats with the null sink.
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto traced = traced_run(prog, &sink);
+  const auto plain = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  std::ostringstream a, b;
+  accel::write_json(a, traced, "x");
+  accel::write_json(b, plain, "x");
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(traced.memory_hash, plain.memory_hash);
+  EXPECT_EQ(traced.final_state.output, plain.final_state.output);
+}
+
+TEST(ObsEvents, JsonlWriterEmitsOneObjectPerEvent) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  traced_run(prog, &sink);
+  std::ostringstream out;
+  obs::write_events_jsonl(out, sink.events());
+  const std::string text = out.str();
+  size_t lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, sink.events().size());
+  EXPECT_NE(text.find("\"event\": \"array_activation\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\": \"capture_started\""), std::string::npos);
+}
+
+TEST(ObsProfile, CycleBreakdownSumsToArrayCycles) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto st = traced_run(prog, &sink);
+
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+  ASSERT_FALSE(table.empty());
+
+  // Per-configuration: the five components sum to the config's cycles.
+  uint64_t total = 0;
+  for (const obs::ConfigProfile& p : table.by_start_pc()) {
+    EXPECT_EQ(p.exec_cycles + p.reconfig_stall_cycles + p.dcache_stall_cycles +
+                  p.finalize_cycles + p.misspec_penalty_cycles,
+              p.array_cycles());
+    total += p.array_cycles();
+  }
+  // Whole table: per-config contributions sum to the run's array_cycles,
+  // and the stats-level taxonomy agrees component-by-component.
+  EXPECT_EQ(total, st.array_cycles);
+  EXPECT_EQ(table.total_array_cycles(), st.array_cycles);
+  EXPECT_EQ(table.total_activations(), st.array_activations);
+  EXPECT_EQ(st.array_exec_cycles + st.reconfig_stall_cycles +
+                st.array_dcache_stall_cycles + st.array_finalize_cycles +
+                st.misspec_penalty_cycles,
+            st.array_cycles);
+}
+
+TEST(ObsProfile, HotOrderAndMisspecRate) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  traced_run(prog, &sink);
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+  const auto hot = table.by_cycles();
+  for (size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GE(hot[i - 1].array_cycles(), hot[i].array_cycles());
+  }
+  for (const auto& p : hot) {
+    EXPECT_GE(p.misspec_rate(), 0.0);
+    EXPECT_LE(p.misspec_rate(), 1.0);
+  }
+}
+
+TEST(ObsProfile, EvictionChurnIsRecordedUnderCachePressure) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  const auto st = traced_run(prog, &sink, /*cache_slots=*/1);
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+  uint64_t evictions = 0;
+  for (const auto& p : table.by_start_pc()) evictions += p.evictions;
+  EXPECT_EQ(evictions, st.rcache_evictions);
+}
+
+TEST(ObsProfile, MergeIsAdditive) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  traced_run(prog, &sink);
+  obs::ProfileTable once;
+  once.add_all(sink.events());
+  obs::ProfileTable twice;
+  twice.merge(once);
+  twice.merge(once);
+  EXPECT_EQ(twice.total_array_cycles(), 2 * once.total_array_cycles());
+  EXPECT_EQ(twice.total_activations(), 2 * once.total_activations());
+  EXPECT_EQ(twice.size(), once.size());
+}
+
+TEST(ObsProfile, JsonAndTableExports) {
+  const auto prog = asmblr::assemble(kHotLoop);
+  obs::RecordingSink sink;
+  traced_run(prog, &sink);
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+
+  std::ostringstream json;
+  obs::write_profile_json(json, table);
+  EXPECT_NE(json.str().find("\"configs\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"total_array_cycles\""), std::string::npos);
+
+  std::ostringstream text;
+  obs::write_profile_table(text, table, 2);
+  EXPECT_NE(text.str().find("config"), std::string::npos);
+  EXPECT_NE(text.str().find("total:"), std::string::npos);
+}
+
+TEST(ObsEvents, EventKindNamesAreUnique) {
+  const obs::EventKind kinds[] = {
+      obs::EventKind::kCaptureStarted, obs::EventKind::kCaptureAborted,
+      obs::EventKind::kCaptureTooShort, obs::EventKind::kConfigFinalized,
+      obs::EventKind::kRcacheInsert, obs::EventKind::kRcacheEvict,
+      obs::EventKind::kRcacheFlush, obs::EventKind::kArrayActivation,
+      obs::EventKind::kMisspeculation, obs::EventKind::kExtensionBegun,
+      obs::EventKind::kExtensionCompleted};
+  std::set<std::string> names;
+  for (obs::EventKind k : kinds) names.insert(obs::event_kind_name(k));
+  EXPECT_EQ(names.size(), std::size(kinds));
+}
+
+}  // namespace
+}  // namespace dim

@@ -145,6 +145,45 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) ? "_spec" : "_nospec");
     });
 
+// Targeted transparency case: a misspeculated PARTIAL commit where the
+// squashed speculative block carries a store. The loop's backward branch is
+// not-taken into the exit path dozens of times first, so the predictor
+// saturates, DIM extends the configuration across the branch, and the final
+// iteration (branch resolves the other way) must squash the store-carrying
+// block. The squashed store must never reach memory and the partial commit
+// must leave exactly the baseline's architectural state.
+TEST(TransparencyMisspec, SquashedSpeculativeStoreIsInvisible) {
+  const char* src = R"(
+        .data
+buf:    .space 256
+        .text
+main:   la $t1, buf
+        li $s1, 30
+        li $t3, 0
+loop:   addiu $s1, $s1, -1
+        addu $t3, $t3, $s1
+        beqz $s1, done
+        sw $t3, 0($t1)
+        addiu $t1, $t1, 4
+        b loop
+done:   move $a0, $t3
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+  const asmblr::Program prog = asmblr::assemble(src);
+  const SystemConfig cfg = SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  const SpeedupResult r = measure_speedup(prog, cfg);
+  ASSERT_FALSE(r.baseline.hit_limit);
+  ASSERT_FALSE(r.accelerated.hit_limit);
+  // The scenario must actually occur, or the test is vacuous.
+  ASSERT_GT(r.accelerated.misspeculations, 0u) << src;
+  EXPECT_EQ(r.baseline.final_state.output, r.accelerated.final_state.output);
+  EXPECT_EQ(r.baseline.final_state.reg_hash(), r.accelerated.final_state.reg_hash());
+  EXPECT_EQ(r.baseline.memory_hash, r.accelerated.memory_hash);
+}
+
 // Transparency over all real workloads x system settings.
 using WorkloadSetting = std::tuple<std::string, int>;  // (workload, setting id)
 

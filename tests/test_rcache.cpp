@@ -153,6 +153,23 @@ TEST(ReconfigCache, LruHitsRefreshPosition) {
   EXPECT_NE(rc.lookup(0x300), nullptr);
 }
 
+TEST(ReconfigCache, LruReplacementRefreshesRecency) {
+  // Regression: under LRU, an in-place rewrite (speculation extension) is a
+  // use of the entry and must move it to MRU. The stale-recency bug left the
+  // rewritten entry at its old position, so the very configuration DIM had
+  // just extended was the next eviction victim.
+  ReconfigCache rc(2, Replacement::kLru);
+  rc.insert(cfg(0x100, 5));
+  rc.insert(cfg(0x200, 5));
+  rc.insert(cfg(0x100, 9));  // rewrite: 0x100 becomes most recent
+  EXPECT_EQ(rc.size(), 2u);
+  EXPECT_EQ(rc.peek(0x100)->ops.size(), 9u);
+  rc.insert(cfg(0x300));  // 0x200 is now the least recent -> evicted
+  EXPECT_NE(rc.peek(0x100), nullptr);
+  EXPECT_EQ(rc.peek(0x200), nullptr);
+  EXPECT_NE(rc.peek(0x300), nullptr);
+}
+
 TEST(ReconfigCache, FifoIsTheDefaultPolicy) {
   ReconfigCache rc(4);
   EXPECT_EQ(rc.policy(), Replacement::kFifo);

@@ -19,25 +19,29 @@ struct Golden {
   uint64_t accel_cycles;  // C#2, 64 slots, speculation
 };
 
+// Re-pinned after fixing the misspeculated-commit write-back drain: a
+// partial commit now drains only the registers the committed prefix
+// actually wrote, so workloads with misspeculations got slightly cheaper
+// (baselines are untouched by that path and did not move).
 constexpr Golden kGoldens[] = {
-    {"rijndael_e", 215869ull, 94246ull},
+    {"rijndael_e", 215869ull, 94245ull},
     {"rijndael_d", 259537ull, 174979ull},
-    {"gsm_e", 624013ull, 161442ull},
-    {"jpeg_e", 863695ull, 291338ull},
-    {"sha", 407010ull, 123656ull},
-    {"susan_s", 959878ull, 512417ull},
+    {"gsm_e", 624013ull, 161440ull},
+    {"jpeg_e", 863695ull, 291018ull},
+    {"sha", 407010ull, 123655ull},
+    {"susan_s", 959878ull, 503457ull},
     {"crc32", 172041ull, 61503ull},
-    {"jpeg_d", 781007ull, 204894ull},
+    {"jpeg_d", 781007ull, 204254ull},
     {"patricia", 831776ull, 364345ull},
-    {"susan_c", 1021225ull, 576547ull},
-    {"susan_e", 506417ull, 296404ull},
-    {"dijkstra", 773928ull, 384462ull},
-    {"gsm_d", 574612ull, 205534ull},
+    {"susan_c", 1021225ull, 576542ull},
+    {"susan_e", 506417ull, 296384ull},
+    {"dijkstra", 773928ull, 383045ull},
+    {"gsm_d", 574612ull, 205533ull},
     {"bitcount", 1175063ull, 359144ull},
     {"stringsearch", 3785678ull, 1745893ull},
-    {"quicksort", 388068ull, 221222ull},
+    {"quicksort", 388068ull, 221099ull},
     {"rawaudio_e", 828628ull, 427055ull},
-    {"rawaudio_d", 563067ull, 311168ull},
+    {"rawaudio_d", 563067ull, 311167ull},
 };
 
 class TimingGolden : public ::testing::TestWithParam<Golden> {};

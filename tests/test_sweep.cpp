@@ -128,6 +128,57 @@ TEST(SweepEngine, PrecomputedBaselineIsShared) {
   EXPECT_GT(results[0].speedup(), 0.0);
 }
 
+TEST(SweepEngine, ProfileAggregationIdenticalAcrossThreadCounts) {
+  // Event-profile collection rides the same determinism contract as the
+  // stats JSON: worker-private sinks folded in point order must aggregate
+  // to a byte-identical document no matter how many threads ran the grid.
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+
+  std::string profile_by_threads[3];
+  int slot = 0;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.collect_profiles = true;
+    const auto results = SweepEngine(opts).run(points);
+    for (const SweepResult& r : results) {
+      EXPECT_TRUE(r.has_profile) << r.label;
+    }
+    std::ostringstream out;
+    obs::write_profile_json(out, aggregate_profiles(results));
+    profile_by_threads[slot++] = out.str();
+  }
+  EXPECT_FALSE(profile_by_threads[0].empty());
+  EXPECT_NE(profile_by_threads[0].find("\"configs\""), std::string::npos);
+  EXPECT_EQ(profile_by_threads[0], profile_by_threads[1]);
+  EXPECT_EQ(profile_by_threads[0], profile_by_threads[2]);
+}
+
+TEST(SweepEngine, CollectedProfilesMatchPointStats) {
+  // Each point's own profile must reproduce that run's array-cycle total
+  // and activation count, and collection must not perturb the results
+  // (same stats as a plain run).
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.collect_profiles = true;
+  const auto with_profiles = SweepEngine(opts).run(points);
+  const auto plain = SweepEngine({4}).run(points);
+  ASSERT_EQ(with_profiles.size(), plain.size());
+  for (size_t i = 0; i < with_profiles.size(); ++i) {
+    const SweepResult& r = with_profiles[i];
+    ASSERT_TRUE(r.has_profile);
+    EXPECT_EQ(r.profile.total_array_cycles(), r.accelerated.array_cycles) << r.label;
+    EXPECT_EQ(r.profile.total_activations(), r.accelerated.array_activations) << r.label;
+    EXPECT_EQ(r.accelerated.cycles, plain[i].accelerated.cycles) << r.label;
+    EXPECT_EQ(r.accelerated.memory_hash, plain[i].accelerated.memory_hash) << r.label;
+  }
+  EXPECT_FALSE(plain[0].has_profile);
+}
+
 TEST(SweepEngine, EmptyGridYieldsEmptyJsonDocument) {
   SweepEngine engine;
   const auto results = engine.run({});

@@ -82,6 +82,16 @@ TEST(StatsIo, JsonContainsAllCounters) {
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // label escaped
 }
 
+TEST(StatsIo, JsonEscapeEncodesControlCharacters) {
+  // Regression: every control character used to collapse to " " (a
+  // space), silently corrupting labels. Each must map to its own \u00xx.
+  EXPECT_EQ(accel::json_escape("a\nb"), "a\\u000ab");
+  EXPECT_EQ(accel::json_escape("a\tb"), "a\\u0009b");
+  EXPECT_EQ(accel::json_escape(std::string("a\x01""b")), "a\\u0001b");
+  EXPECT_EQ(accel::json_escape("quote\" slash\\"), "quote\\\" slash\\\\");
+  EXPECT_EQ(accel::json_escape("plain"), "plain");  // printable untouched
+}
+
 TEST(StatsIo, ReportMentionsCoverage) {
   accel::AccelStats st;
   st.instructions = 100;

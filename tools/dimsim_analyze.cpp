@@ -1,24 +1,40 @@
-// dimsim-analyze: static DIM planning. Walks the text segment of an
-// assembled program, splits it into static basic blocks, runs the DIM
-// placement over each block, and reports what the hardware would find:
-// translatable fraction, rows needed, functional-unit pressure against a
-// chosen array shape. The offline counterpart of the paper's §5.1
-// analysis — useful to size an array for a binary before running it.
+// dimsim-analyze: DIM planning and observation.
 //
-// Usage: dimsim-analyze file.s [--config 1|2|3] [--json]
-// With --json the per-block plan and the totals are emitted as one JSON
-// document on stdout (machine-readable counterpart of the table).
+// Static mode (default): walks the text segment of an assembled program,
+// splits it into static basic blocks, runs the DIM placement over each
+// block, and reports what the hardware would find: translatable fraction,
+// rows needed, functional-unit pressure against a chosen array shape. The
+// offline counterpart of the paper's §5.1 analysis — useful to size an
+// array for a binary before running it.
+//
+// Dynamic mode (--events / --hot-configs): actually RUNS the program on
+// the accelerated system with the configuration-lifecycle event stream
+// attached (see docs/observability.md). --events FILE dumps the raw
+// stream as JSON-lines; --hot-configs N prints the top-N configurations
+// by array cycles with their full cycle breakdown (exec / reconfig /
+// dcache / finalize / misspec — the components sum to each config's
+// contribution to array_cycles).
+//
+// Usage: dimsim-analyze (file.s | --workload NAME) [--config 1|2|3]
+//                       [--json] [--events FILE] [--hot-configs N]
+//                       [--scale N]
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "accel/stats_io.hpp"
+#include "accel/system.hpp"
 #include "asm/assembler.hpp"
 #include "bt/translator.hpp"
 #include "isa/decoder.hpp"
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
 #include "rra/array_shape.hpp"
+#include "work/workload.hpp"
 
 namespace {
 
@@ -34,11 +50,69 @@ struct BlockPlan {
   bool cacheable = false;  // >3 translated instructions
 };
 
+constexpr const char* kUsage =
+    "usage: dimsim-analyze (file.s | --workload NAME) [--config 1|2|3] "
+    "[--json] [--events FILE] [--hot-configs N] [--scale N]\n";
+
+// Runs the program with a recording sink attached, dumps the stream and/or
+// the per-configuration aggregation table.
+int run_dynamic(const dim::asmblr::Program& program, const dim::rra::ArrayShape& shape,
+                const std::string& events_path, int hot_configs, bool json) {
+  dim::obs::RecordingSink sink;
+  dim::accel::SystemConfig config;
+  config.shape = shape;
+  config.event_sink = &sink;
+  const dim::accel::AccelStats stats = dim::accel::run_accelerated(program, config);
+
+  if (!events_path.empty()) {
+    std::ofstream out(events_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", events_path.c_str());
+      return 1;
+    }
+    dim::obs::write_events_jsonl(out, sink.events());
+    std::fprintf(stderr, "%zu events written to %s\n", sink.events().size(),
+                 events_path.c_str());
+  }
+
+  dim::obs::ProfileTable table;
+  table.add_all(sink.events());
+
+  if (json) {
+    std::cout << "{\n  \"stats\": {\n";
+    dim::accel::write_json_fields(std::cout, stats, "    ");
+    std::cout << "  },\n  \"profile\": ";
+    std::ostringstream profile;
+    dim::obs::write_profile_json(profile, table);
+    std::cout << profile.str() << "}\n";
+  } else {
+    dim::accel::write_report(std::cout, stats);
+    std::cout << "\nhot configurations (by array cycles):\n";
+    dim::obs::write_profile_table(std::cout, table,
+                                  hot_configs > 0 ? static_cast<size_t>(hot_configs) : 0);
+  }
+
+  // The aggregation invariant the table is useful for: per-config cycle
+  // breakdowns sum to the run's total array cycles.
+  if (table.total_array_cycles() != stats.array_cycles) {
+    std::fprintf(stderr,
+                 "cycle accounting mismatch: profile %llu != run %llu array cycles\n",
+                 static_cast<unsigned long long>(table.total_array_cycles()),
+                 static_cast<unsigned long long>(stats.array_cycles));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input;
+  std::string workload;
+  std::string events_path;
+  int hot_configs = -1;  // -1 = not requested
   int config_id = 2;
+  int scale = 1;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -46,28 +120,49 @@ int main(int argc, char** argv) {
       config_id = std::atoi(argv[++i]);
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (arg == "--hot-configs" && i + 1 < argc) {
+      hot_configs = std::atoi(argv[++i]);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3] [--json]\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     } else {
       input = arg;
     }
   }
-  if (input.empty()) {
-    std::fprintf(stderr, "usage: dimsim-analyze file.s [--config 1|2|3] [--json]\n");
+  if (input.empty() == workload.empty()) {  // exactly one source required
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  std::ifstream in(input);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", input.c_str());
-    return 1;
+
+  std::string source_text;
+  if (!workload.empty()) {
+    try {
+      source_text = dim::work::make_workload(workload, scale).source;
+      input = "workload:" + workload;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", input.c_str());
+      return 1;
+    }
+    std::stringstream source;
+    source << in.rdbuf();
+    source_text = source.str();
   }
-  std::stringstream source;
-  source << in.rdbuf();
 
   dim::asmblr::Program program;
   try {
-    program = dim::asmblr::assemble(source.str());
+    program = dim::asmblr::assemble(source_text);
   } catch (const dim::asmblr::AsmError& e) {
     std::fprintf(stderr, "%s: %s\n", input.c_str(), e.what());
     return 1;
@@ -76,6 +171,10 @@ int main(int argc, char** argv) {
   const dim::rra::ArrayShape shape = config_id == 1   ? dim::rra::ArrayShape::config1()
                                      : config_id == 3 ? dim::rra::ArrayShape::config3()
                                                       : dim::rra::ArrayShape::config2();
+
+  if (!events_path.empty() || hot_configs >= 0) {
+    return run_dynamic(program, shape, events_path, hot_configs, json);
+  }
 
   // Decode the text segment and find static basic-block leaders: the entry,
   // every branch/jump target, and every instruction after a control
