@@ -25,6 +25,7 @@ AcceleratedSystem::AcceleratedSystem(const asmblr::Program& program,
   tparams.max_input_regs = config_.max_input_regs;
   tparams.max_output_regs = config_.max_output_regs;
   tparams.allowed_starts = config_.allowed_starts;
+  tparams.fault = config_.fault_injection;
   rcache_ = std::make_unique<bt::ReconfigCache>(config_.cache_slots,
                                                 config_.cache_replacement);
   translator_ = std::make_unique<bt::Translator>(tparams, rcache_.get(), &predictor_);

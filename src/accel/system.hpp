@@ -55,6 +55,9 @@ struct SystemConfig {
   // (warp-processing-style CAD) — see bench_ablation_btcost.
   uint64_t translation_cost_per_instr = 0;
   bool array_enabled = true;  // false = plain baseline run (for A/B tests)
+  // Planted translator bug for fuzzer self-tests (bt::FaultInjection);
+  // kNone outside tests.
+  bt::FaultInjection fault_injection = bt::FaultInjection::kNone;
   // Configuration-lifecycle event tracing (see obs/event.hpp). Not owned;
   // must outlive the system. Null (the default) disables tracing at the
   // cost of one pointer test per event site — observation only, so the

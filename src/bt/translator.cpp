@@ -1,6 +1,7 @@
 #include "bt/translator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace dim::bt {
 
@@ -124,6 +125,16 @@ bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
 
   rra::ArrayOp op;
   op.instr = instr;
+  // Planted-bug hook for the differential fuzzer: corrupt the stored
+  // semantics (never the dependence/resource bookkeeping above, which used
+  // the pristine instruction) so the bug surfaces only as divergent
+  // architectural state when the configuration executes.
+  if (params_.fault == FaultInjection::kAddiuImmOffByOne && instr.op == Op::kAddiu) {
+    op.instr.imm16 ^= 1;
+  } else if (params_.fault == FaultInjection::kSubuSwapOperands &&
+             instr.op == Op::kSubu) {
+    std::swap(op.instr.rs, op.instr.rt);
+  }
   op.pc = pc;
   op.row = row;
   op.col = col;

@@ -36,6 +36,20 @@
 
 namespace dim::bt {
 
+// Deliberate translation bugs for fuzzer self-tests (src/fuzz/): the
+// differential fuzzer must detect each of these as a transparency
+// divergence and shrink a failing program to a small reproducer. Always
+// kNone outside tests — see tests/test_fuzz.cpp and `dimsim-fuzz
+// --self-test`. Faults corrupt only the *semantics* of the placed op
+// (never its operand registers as seen by the dependence tables), so every
+// placement invariant still holds and the bug is observable exclusively as
+// wrong architectural state.
+enum class FaultInjection : uint8_t {
+  kNone = 0,
+  kAddiuImmOffByOne,   // every addiu placed on the array gets imm16 ^= 1
+  kSubuSwapOperands,   // every subu placed on the array computes rt - rs
+};
+
 struct TranslatorParams {
   rra::ArrayShape shape = rra::ArrayShape::config1();
   bool speculation = true;
@@ -60,6 +74,9 @@ struct TranslatorParams {
   // sequences starting at these PCs (the profiled hot spots) are
   // translated — everything else stays on the processor.
   std::unordered_set<uint32_t> allowed_starts;
+
+  // Test-only planted translator bug (see FaultInjection above).
+  FaultInjection fault = FaultInjection::kNone;
 };
 
 // The DIM detection-phase tables for one in-flight translation.

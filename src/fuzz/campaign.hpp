@@ -1,0 +1,69 @@
+// Fuzz campaigns: N seeds x the configuration matrix, fanned out over the
+// SweepEngine worker pool.
+//
+// Detection runs as one sweep grid (seed x matrix point, each with its own
+// baseline run inside the worker); failures are then re-examined serially
+// in seed order — the differential oracle pinpoints the first divergence
+// with event context, and the delta-debugging shrinker minimizes the
+// program. Everything after the sweep is a pure function of the (ordered)
+// sweep results, so a campaign's outcome — including its JSON document —
+// is byte-identical for any worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace dim::fuzz {
+
+struct CampaignOptions {
+  uint64_t seed_start = 0;
+  int seeds = 100;
+  unsigned threads = 0;             // 0 = hardware concurrency
+  std::vector<MatrixPoint> matrix;  // empty = full_matrix()
+  GenOptions gen;
+  OracleOptions oracle;             // fault injection + run limits
+  bool shrink = true;
+  int max_shrinks = 1;              // failures minimized (in seed order)
+  int max_reported_failures = 10;   // failures kept with full detail
+};
+
+struct CampaignFailure {
+  uint64_t seed = 0;
+  Divergence divergence;       // first divergence, with event context
+  FuzzProgram program;         // as generated
+  bool shrunk = false;
+  FuzzProgram shrunk_program;  // == program when !shrunk
+  ShrinkStats shrink_stats;
+};
+
+struct CampaignResult {
+  uint64_t seed_start = 0;
+  int seeds_run = 0;
+  int divergent_seeds = 0;      // total count (not capped)
+  int inconclusive_seeds = 0;   // assembly failure / both sides hit limit
+  std::vector<CampaignFailure> failures;  // first max_reported_failures, by seed
+
+  bool clean() const { return divergent_seeds == 0; }
+};
+
+CampaignResult run_campaign(const CampaignOptions& options);
+
+// One JSON document; deterministic for a fixed CampaignResult (and the
+// result is thread-count-invariant, so so is the document).
+void write_campaign_json(std::ostream& out, const CampaignResult& result);
+
+// Self-contained reproducer: '#'-commented header (seed, matrix point,
+// divergence, fault, recent events) followed by the shrunk program — the
+// whole file assembles as-is and can be replayed with dimsim-fuzz --replay.
+void write_repro_file(std::ostream& out, const CampaignFailure& failure,
+                      const OracleOptions& oracle);
+
+const char* fault_injection_name(bt::FaultInjection fault);
+
+}  // namespace dim::fuzz

@@ -1,0 +1,90 @@
+// Seeded structured program generator for the differential fuzzer.
+//
+// Programs are built from composable grammar pieces — straight ALU blocks
+// over the full array-supported op set, nested counted loops, forward and
+// backward branches, speculation bait (branches biased one way for most of
+// a loop and flipping near the end, to exercise bimodal saturation,
+// speculative extension and the misspeculation squash paths), mixed
+// supported/unsupported ops (div splits a sequence), leaf calls (jal/jr
+// boundaries), and load/store aliasing at mixed widths — driven by a
+// deterministic PRNG, so a seed identifies a program forever.
+//
+// The output is a statement list, not flat text: every statement can carry
+// a label and can be individually removed while keeping the program
+// assemblable (labels survive removal so branch targets stay defined).
+// That statement granularity is exactly what the delta-debugging shrinker
+// (fuzz/shrink.hpp) minimizes over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dim::fuzz {
+
+// Deterministic PRNG (splitmix64). Unlike <random> distributions, every
+// draw is fully specified here, so a seed reproduces the same program on
+// any platform, compiler, and thread count.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi], inclusive. Requires lo <= hi.
+  int range(int lo, int hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+  bool chance(int percent) { return range(0, 99) < percent; }
+
+ private:
+  uint64_t state_;
+};
+
+// One assembly statement. `label` (when non-empty) is emitted as "label:"
+// before the text and is never removed — only `text` is, so every subset
+// of statements still assembles.
+struct Stmt {
+  std::string label;
+  std::string text;        // one instruction or directive ("" = label only)
+  bool removable = true;   // false: structural (entry, exit, .data, ...)
+  bool is_instruction = true;  // false for directives/labels (size metric)
+};
+
+struct FuzzProgram {
+  std::vector<Stmt> stmts;
+
+  // Renders to assembler input (see asm/assembler.hpp syntax).
+  std::string render() const;
+
+  // Instruction statements with non-empty text — the size the shrinker
+  // minimizes and the acceptance metric for reproducers.
+  int instruction_count() const;
+};
+
+struct GenOptions {
+  int min_pieces = 3;        // grammar pieces inside the outer loop
+  int max_pieces = 7;
+  int max_loop_depth = 2;    // counted loops nested inside the outer loop
+  int buffer_bytes = 512;    // shared scratch buffer (aliasing playground)
+};
+
+// Deterministic: generate_program(s, o) is the same program forever.
+FuzzProgram generate_program(uint64_t seed, const GenOptions& options = {});
+
+// Scalable iteration budget for fuzz-style tests: the value of the
+// DIMSIM_FUZZ_SEEDS environment variable when set to a positive integer,
+// else `default_seeds`. Honored by test_differential, test_property and
+// the fuzz campaign tests so CI cost stays fixed while a nightly or a
+// developer can crank the budget without recompiling.
+int seed_budget(int default_seeds);
+
+}  // namespace dim::fuzz

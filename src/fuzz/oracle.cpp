@@ -1,0 +1,193 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace dim::fuzz {
+
+namespace {
+
+std::string hex32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+std::string u64(uint64_t v) { return std::to_string(v); }
+
+accel::SystemConfig make_config(const rra::ArrayShape& shape, size_t slots,
+                                bt::Replacement policy, bool spec, int depth) {
+  accel::SystemConfig c;
+  c.shape = shape;
+  c.cache_slots = slots;
+  c.cache_replacement = policy;
+  c.speculation = spec;
+  c.max_spec_bbs = depth;
+  return c;
+}
+
+void add_shape_points(std::vector<MatrixPoint>& out, const std::string& shape_label,
+                      const rra::ArrayShape& shape) {
+  struct CacheChoice {
+    const char* label;
+    size_t slots;
+    bt::Replacement policy;
+  };
+  struct SpecChoice {
+    const char* label;
+    bool spec;
+    int depth;
+  };
+  static const CacheChoice kCaches[] = {{"fifo4", 4, bt::Replacement::kFifo},
+                                        {"lru64", 64, bt::Replacement::kLru}};
+  static const SpecChoice kSpecs[] = {
+      {"nospec", false, 3}, {"spec1", true, 1}, {"spec3", true, 3}};
+  for (const CacheChoice& cache : kCaches) {
+    for (const SpecChoice& spec : kSpecs) {
+      MatrixPoint p;
+      p.label = shape_label + "/" + cache.label + "/" + spec.label;
+      p.config = make_config(shape, cache.slots, cache.policy, spec.spec, spec.depth);
+      out.push_back(std::move(p));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<MatrixPoint> full_matrix() {
+  std::vector<MatrixPoint> out;
+  add_shape_points(out, "shape1", rra::ArrayShape::config1());
+  add_shape_points(out, "shape2", rra::ArrayShape::config2());
+  add_shape_points(out, "tiny", rra::ArrayShape{6, 3, 1, 1});
+  return out;
+}
+
+std::vector<MatrixPoint> quick_matrix() {
+  std::vector<MatrixPoint> out;
+  MatrixPoint p;
+  p.label = "shape1/fifo4/spec3";
+  p.config = make_config(rra::ArrayShape::config1(), 4, bt::Replacement::kFifo, true, 3);
+  out.push_back(p);
+  p.label = "shape2/lru64/nospec";
+  p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, false, 3);
+  out.push_back(p);
+  p.label = "tiny/fifo4/spec1";
+  p.config = make_config(rra::ArrayShape{6, 3, 1, 1}, 4, bt::Replacement::kFifo, true, 1);
+  out.push_back(p);
+  p.label = "shape2/lru64/spec3";
+  p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, true, 3);
+  out.push_back(p);
+  return out;
+}
+
+const char* divergence_field_name(DivergenceField field) {
+  switch (field) {
+    case DivergenceField::kNone: return "none";
+    case DivergenceField::kTermination: return "termination";
+    case DivergenceField::kOutput: return "output";
+    case DivergenceField::kRegister: return "register";
+    case DivergenceField::kHiLo: return "hi_lo";
+    case DivergenceField::kMemory: return "memory";
+    case DivergenceField::kRetiredCount: return "retired_count";
+  }
+  return "unknown";
+}
+
+OracleResult check_program(const std::string& source,
+                           const std::vector<MatrixPoint>& matrix,
+                           const OracleOptions& options) {
+  OracleResult result;
+
+  asmblr::Program program;
+  try {
+    program = asmblr::assemble(source);
+  } catch (const std::exception& e) {
+    result.inconclusive = true;
+    result.inconclusive_reason = std::string("assembly failed: ") + e.what();
+    return result;
+  }
+
+  sim::MachineConfig machine;
+  machine.max_instructions = options.max_instructions;
+  sim::Machine baseline(program, machine);
+  const sim::RunResult base = baseline.run();
+  if (base.hit_limit) {
+    result.inconclusive = true;
+    result.inconclusive_reason =
+        "baseline hit the instruction limit (" + u64(machine.max_instructions) + ")";
+    return result;
+  }
+
+  for (const MatrixPoint& point : matrix) {
+    obs::RecordingSink sink;
+    accel::SystemConfig config = point.config;
+    config.machine = machine;
+    config.event_sink = &sink;
+    config.fault_injection = options.fault;
+    accel::AcceleratedSystem system(program, config);
+    const accel::AccelStats accel = system.run();
+
+    Divergence d;
+    d.point_label = point.label;
+    if (accel.hit_limit) {
+      // The baseline halted (checked above), so a limited accelerated run
+      // IS an architecturally visible difference — it never terminates.
+      d.field = DivergenceField::kTermination;
+      d.detail = "baseline halted after " + u64(base.instructions) +
+                 " instructions; accelerated still running at the limit (" +
+                 u64(machine.max_instructions) + ")";
+    } else if (base.state.output != accel.final_state.output) {
+      d.field = DivergenceField::kOutput;
+      d.detail = "program output differs: baseline \"" + base.state.output +
+                 "\" vs accelerated \"" + accel.final_state.output + "\"";
+    } else {
+      for (size_t r = 0; r < base.state.regs.size(); ++r) {
+        if (base.state.regs[r] != accel.final_state.regs[r]) {
+          d.field = DivergenceField::kRegister;
+          d.detail = "register $" + std::to_string(r) + ": baseline " +
+                     hex32(base.state.regs[r]) + " vs accelerated " +
+                     hex32(accel.final_state.regs[r]);
+          break;
+        }
+      }
+      if (d.field == DivergenceField::kNone &&
+          (base.state.hi != accel.final_state.hi ||
+           base.state.lo != accel.final_state.lo)) {
+        d.field = DivergenceField::kHiLo;
+        d.detail = "hi/lo: baseline " + hex32(base.state.hi) + "/" +
+                   hex32(base.state.lo) + " vs accelerated " +
+                   hex32(accel.final_state.hi) + "/" + hex32(accel.final_state.lo);
+      }
+      if (d.field == DivergenceField::kNone) {
+        const auto addr = baseline.memory().first_difference(system.memory());
+        if (addr.has_value()) {
+          d.field = DivergenceField::kMemory;
+          d.detail = "memory byte at " + hex32(*addr) + ": baseline " +
+                     hex32(baseline.memory().read8(*addr)) + " vs accelerated " +
+                     hex32(system.memory().read8(*addr));
+        }
+      }
+      if (d.field == DivergenceField::kNone && base.instructions != accel.instructions) {
+        d.field = DivergenceField::kRetiredCount;
+        d.detail = "retired instructions: baseline " + u64(base.instructions) +
+                   " vs accelerated " + u64(accel.instructions);
+      }
+    }
+
+    if (d.field != DivergenceField::kNone) {
+      d.found = true;
+      const std::vector<obs::Event>& events = sink.events();
+      const size_t keep = std::min(options.event_context, events.size());
+      d.recent_events.assign(events.end() - static_cast<ptrdiff_t>(keep), events.end());
+      result.divergence = std::move(d);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace dim::fuzz

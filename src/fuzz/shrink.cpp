@@ -1,0 +1,82 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dim::fuzz {
+
+namespace {
+
+// Indices of statements the shrinker may remove.
+std::vector<size_t> removable_indices(const FuzzProgram& p) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < p.stmts.size(); ++i) {
+    if (p.stmts[i].removable && !p.stmts[i].text.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+// Removes the given statement indices. A labeled statement keeps its label
+// (branch targets must stay defined); an unlabeled one disappears.
+FuzzProgram remove_stmts(const FuzzProgram& p, const std::vector<size_t>& victims) {
+  FuzzProgram out;
+  out.stmts.reserve(p.stmts.size());
+  size_t v = 0;
+  for (size_t i = 0; i < p.stmts.size(); ++i) {
+    if (v < victims.size() && victims[v] == i) {
+      ++v;
+      if (!p.stmts[i].label.empty()) {
+        Stmt keep = p.stmts[i];
+        keep.text.clear();
+        keep.is_instruction = false;
+        out.stmts.push_back(std::move(keep));
+      }
+      continue;
+    }
+    out.stmts.push_back(p.stmts[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzProgram& failing, const FailurePredicate& still_fails) {
+  ShrinkResult result;
+  result.program = failing;
+  if (!still_fails(failing)) return result;  // precondition violated: no-op
+
+  size_t chunk = std::max<size_t>(1, removable_indices(failing).size() / 2);
+  for (;;) {
+    ++result.stats.rounds;
+    bool removed_any = false;
+    size_t pos = 0;
+    for (;;) {
+      const std::vector<size_t> indices = removable_indices(result.program);
+      if (pos >= indices.size()) break;
+      const size_t take = std::min(chunk, indices.size() - pos);
+      const std::vector<size_t> victims(indices.begin() + static_cast<ptrdiff_t>(pos),
+                                        indices.begin() +
+                                            static_cast<ptrdiff_t>(pos + take));
+      FuzzProgram candidate = remove_stmts(result.program, victims);
+      ++result.stats.candidates_tried;
+      if (still_fails(candidate)) {
+        // Keep the cut; the indices after `pos` shifted, so re-enumerate
+        // without advancing.
+        result.program = std::move(candidate);
+        ++result.stats.candidates_accepted;
+        removed_any = true;
+      } else {
+        pos += take;
+      }
+    }
+    if (chunk == 1) {
+      // 1-minimal once a full single-statement pass removes nothing.
+      if (!removed_any) break;
+    } else {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  return result;
+}
+
+}  // namespace dim::fuzz

@@ -1,0 +1,44 @@
+// Delta-debugging counterexample shrinker (ddmin over statements).
+//
+// Given a failing FuzzProgram and a predicate "does this candidate still
+// fail?", the shrinker removes removable statements in chunks of halving
+// size until the program is 1-minimal: removing any single remaining
+// removable statement makes the failure disappear. Labels and structural
+// statements (entry, exit, data directives) are never removed, so every
+// candidate assembles; candidates that loop forever or fail to trigger the
+// divergence are simply rejected by the predicate.
+//
+// Guarantees (pinned by tests/test_fuzz.cpp):
+//   - the result still satisfies the predicate (failure preserved),
+//   - termination: every accepted step strictly shrinks the program and
+//     every pass over one granularity is finite,
+//   - determinism: candidate order is a pure function of the input, so a
+//     fixed (program, predicate) pair always shrinks to the same result.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/generator.hpp"
+
+namespace dim::fuzz {
+
+// Returns true when the candidate still exhibits the failure being
+// minimized. Must be deterministic.
+using FailurePredicate = std::function<bool(const FuzzProgram&)>;
+
+struct ShrinkStats {
+  int candidates_tried = 0;   // predicate evaluations
+  int candidates_accepted = 0;
+  int rounds = 0;             // granularity passes
+};
+
+struct ShrinkResult {
+  FuzzProgram program;
+  ShrinkStats stats;
+};
+
+// Precondition: still_fails(failing) is true (checked; if not, the input is
+// returned unchanged with zero stats).
+ShrinkResult shrink(const FuzzProgram& failing, const FailurePredicate& still_fails);
+
+}  // namespace dim::fuzz

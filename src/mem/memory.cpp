@@ -91,4 +91,26 @@ uint64_t Memory::content_hash() const {
   return h;
 }
 
+std::optional<uint32_t> Memory::first_difference(const Memory& other) const {
+  std::map<uint32_t, const Page*> mine, theirs;
+  for (const auto& [key, page] : pages_) mine.emplace(key, &page);
+  for (const auto& [key, page] : other.pages_) theirs.emplace(key, &page);
+
+  auto page_byte = [](const Page* p, uint32_t off) -> uint8_t {
+    return p == nullptr ? 0 : (*p)[off];
+  };
+
+  std::map<uint32_t, std::pair<const Page*, const Page*>> keys;
+  for (const auto& [key, page] : mine) keys[key].first = page;
+  for (const auto& [key, page] : theirs) keys[key].second = page;
+  for (const auto& [key, pair] : keys) {
+    for (uint32_t off = 0; off < kPageSize; ++off) {
+      if (page_byte(pair.first, off) != page_byte(pair.second, off)) {
+        return (key << kPageBits) | off;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace dim::mem

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,12 @@ class Memory {
   // Content hash over all allocated pages — used by the transparency
   // property tests to compare baseline vs accelerated final memory state.
   uint64_t content_hash() const;
+
+  // Lowest address whose byte differs from `other` (pages absent on one
+  // side compare as zero), or nullopt when the images are identical. Used
+  // by the differential fuzzer to pinpoint a memory divergence instead of
+  // just reporting mismatching hashes.
+  std::optional<uint32_t> first_difference(const Memory& other) const;
 
  private:
   using Page = std::vector<uint8_t>;

@@ -1,5 +1,7 @@
 #include "obs/event.hpp"
 
+#include <cstdio>
+
 namespace dim::obs {
 
 const char* event_kind_name(EventKind kind) {
@@ -39,6 +41,20 @@ void write_events_jsonl(std::ostream& out, const std::vector<Event>& events) {
     }
     out << "}\n";
   }
+}
+
+std::string format_event(const Event& e) {
+  char pc[16];
+  std::snprintf(pc, sizeof(pc), "0x%08x", e.config_pc);
+  std::string out = "i=" + std::to_string(e.instructions) + " pc=" + pc + " " +
+                    event_kind_name(e.kind);
+  if (e.ops != 0) out += " ops=" + std::to_string(e.ops);
+  if (e.depth != 0) out += " depth=" + std::to_string(e.depth);
+  if (e.kind == EventKind::kMisspeculation) {
+    std::snprintf(pc, sizeof(pc), "0x%08x", e.branch_pc);
+    out += std::string(" branch=") + pc;
+  }
+  return out;
 }
 
 }  // namespace dim::obs

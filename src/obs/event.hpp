@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <vector>
 
 namespace dim::obs {
@@ -121,5 +122,11 @@ class RecordingSink : public EventSink {
 // One JSON object per line (JSON-lines), in emission order. Deterministic:
 // depends only on the events vector.
 void write_events_jsonl(std::ostream& out, const std::vector<Event>& events);
+
+// Compact single-line rendering for humans, e.g.
+//   "i=1204 pc=0x00400040 array_activation ops=12 depth=2"
+// — used by the differential fuzzer's divergence reports and repro-file
+// headers, where the recent event tail is the context for a failure.
+std::string format_event(const Event& event);
 
 }  // namespace dim::obs

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 #include "bt/translator.hpp"
+#include "fuzz/generator.hpp"
 #include "isa/encoder.hpp"
 #include "mem/memory.hpp"
 #include "rra/array_exec.hpp"
@@ -24,6 +26,27 @@ struct RandomSequence {
   std::vector<Instr> instrs;
 };
 
+// The full array-supported op set, grouped by encoding form. Any op DIM can
+// place must appear in the random sequences (asserted by the coverage test
+// below), so a translator or FU regression on a rare op can't hide.
+const Op kThreeReg[] = {Op::kAddu, Op::kSubu, Op::kAdd,  Op::kSub,  Op::kAnd,
+                        Op::kOr,   Op::kXor,  Op::kNor,  Op::kSlt,  Op::kSltu,
+                        Op::kSllv, Op::kSrlv, Op::kSrav};
+const Op kShiftImm[] = {Op::kSll, Op::kSrl, Op::kSra};
+const Op kSignedImm[] = {Op::kAddi, Op::kAddiu, Op::kSlti, Op::kSltiu};
+const Op kUnsignedImm[] = {Op::kAndi, Op::kOri, Op::kXori};
+const Op kLoads[] = {Op::kLw, Op::kLh, Op::kLhu, Op::kLb, Op::kLbu};
+const Op kStores[] = {Op::kSw, Op::kSh, Op::kSb};
+
+// Access width in bytes, for keeping random offsets naturally aligned.
+int mem_width(Op op) {
+  switch (op) {
+    case Op::kLw: case Op::kSw: return 4;
+    case Op::kLh: case Op::kLhu: case Op::kSh: return 2;
+    default: return 1;
+  }
+}
+
 // Generates a sequence of array-supported instructions over $8..$15 with
 // loads/stores into [0x10008000, +256).
 RandomSequence make_sequence(uint32_t seed, int length) {
@@ -31,78 +54,64 @@ RandomSequence make_sequence(uint32_t seed, int length) {
   auto pick = [&rng](int lo, int hi) {
     return std::uniform_int_distribution<int>(lo, hi)(rng);
   };
-  auto reg = [&] { return pick(8, 15); };
+  auto reg = [&] { return static_cast<uint8_t>(pick(8, 15)); };
 
   RandomSequence seq;
   for (int i = 0; i < length; ++i) {
     Instr instr;
-    switch (pick(0, 11)) {
-      case 0:
-        instr.op = Op::kAddu;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
-        break;
-      case 1:
-        instr.op = Op::kSubu;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
-        break;
-      case 2:
-        instr.op = Op::kXor;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
+    switch (pick(0, 10)) {
+      case 0: case 1: case 2:
+        instr.op = kThreeReg[pick(0, 12)];
+        instr.rd = reg();
+        instr.rs = reg();
+        instr.rt = reg();
         break;
       case 3:
-        instr.op = Op::kSltu;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
+        instr.op = kShiftImm[pick(0, 2)];
+        instr.rd = reg();
+        instr.rt = reg();
+        instr.shamt = static_cast<uint8_t>(pick(0, 31));
         break;
       case 4:
-        instr.op = Op::kAddiu;
-        instr.rt = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
+        instr.op = kSignedImm[pick(0, 3)];
+        instr.rt = reg();
+        instr.rs = reg();
         instr.imm16 = static_cast<uint16_t>(pick(-256, 255));
         break;
       case 5:
-        instr.op = Op::kSll;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
-        instr.shamt = static_cast<uint8_t>(pick(0, 31));
+        instr.op = kUnsignedImm[pick(0, 2)];
+        instr.rt = reg();
+        instr.rs = reg();
+        instr.imm16 = static_cast<uint16_t>(pick(0, 65535));
         break;
       case 6:
-        instr.op = Op::kSrav;
-        instr.rd = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
-        instr.rs = static_cast<uint8_t>(reg());
+        instr.op = pick(0, 1) ? Op::kMult : Op::kMultu;
+        instr.rs = reg();
+        instr.rt = reg();
         break;
       case 7:
-        instr.op = Op::kMult;
-        instr.rs = static_cast<uint8_t>(reg());
-        instr.rt = static_cast<uint8_t>(reg());
-        break;
-      case 8:
         instr.op = pick(0, 1) ? Op::kMflo : Op::kMfhi;
-        instr.rd = static_cast<uint8_t>(reg());
+        instr.rd = reg();
         break;
-      case 9:
-        instr.op = pick(0, 1) ? Op::kLw : Op::kLbu;
-        instr.rt = static_cast<uint8_t>(reg());
+      case 8: {
+        instr.op = kLoads[pick(0, 4)];
+        instr.rt = reg();
         instr.rs = 28;  // $gp points at the scratch buffer
-        instr.imm16 = static_cast<uint16_t>(pick(0, 63) * 4);
+        const int w = mem_width(instr.op);
+        instr.imm16 = static_cast<uint16_t>(pick(0, 255 / w) * w);
         break;
-      case 10:
-        instr.op = pick(0, 1) ? Op::kSw : Op::kSb;
-        instr.rt = static_cast<uint8_t>(reg());
+      }
+      case 9: {
+        instr.op = kStores[pick(0, 2)];
+        instr.rt = reg();
         instr.rs = 28;
-        instr.imm16 = static_cast<uint16_t>(pick(0, 63) * 4);
+        const int w = mem_width(instr.op);
+        instr.imm16 = static_cast<uint16_t>(pick(0, 255 / w) * w);
         break;
+      }
       default:
         instr.op = Op::kLui;
-        instr.rt = static_cast<uint8_t>(reg());
+        instr.rt = reg();
         instr.imm16 = static_cast<uint16_t>(pick(0, 65535));
         break;
     }
@@ -207,7 +216,43 @@ TEST_P(DifferentialFuzz, ArrayMatchesFunctionalExecution) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 100));
+// Seed budget is env-tunable (DIMSIM_FUZZ_SEEDS) so CI can run deeper
+// campaigns without a rebuild; the default keeps the current cost.
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range(0, fuzz::seed_budget(100)));
+
+// Every op the array can execute must actually be exercised somewhere in
+// the seed range above — otherwise a rare-op regression is invisible to
+// this suite and the "full op set" claim is vacuous.
+TEST(DifferentialFuzzCoverage, EveryArraySupportedOpAppears) {
+  std::set<Op> seen;
+  const int seeds = fuzz::seed_budget(100);
+  for (int p = 0; p < seeds; ++p) {
+    const uint32_t seed = static_cast<uint32_t>(p) * 2654435761u + 17;
+    std::mt19937 meta(seed);
+    const int length = std::uniform_int_distribution<int>(4, 60)(meta);
+    for (const Instr& instr : make_sequence(seed, length).instrs) {
+      seen.insert(instr.op);
+    }
+  }
+  std::vector<Op> required;
+  required.insert(required.end(), std::begin(kThreeReg), std::end(kThreeReg));
+  required.insert(required.end(), std::begin(kShiftImm), std::end(kShiftImm));
+  required.insert(required.end(), std::begin(kSignedImm), std::end(kSignedImm));
+  required.insert(required.end(), std::begin(kUnsignedImm), std::end(kUnsignedImm));
+  required.insert(required.end(), std::begin(kLoads), std::end(kLoads));
+  required.insert(required.end(), std::begin(kStores), std::end(kStores));
+  required.push_back(Op::kLui);
+  required.push_back(Op::kMult);
+  required.push_back(Op::kMultu);
+  required.push_back(Op::kMfhi);
+  required.push_back(Op::kMflo);
+  for (Op op : required) {
+    EXPECT_TRUE(isa::dim_supported(op) || op == Op::kMfhi || op == Op::kMflo)
+        << isa::op_name(op);
+    EXPECT_TRUE(seen.count(op)) << "op never generated: " << isa::op_name(op);
+  }
+}
 
 }  // namespace
 }  // namespace dim

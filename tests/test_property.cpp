@@ -10,6 +10,7 @@
 
 #include "accel/system.hpp"
 #include "asm/assembler.hpp"
+#include "fuzz/generator.hpp"
 #include "work/workload.hpp"
 
 namespace dim::accel {
@@ -137,9 +138,11 @@ TEST_P(TransparencyFuzz, RandomProgramsAreTransparent) {
   EXPECT_LE(r.accelerated.cycles, r.baseline.cycles) << src;
 }
 
+// Seed budget is env-tunable (DIMSIM_FUZZ_SEEDS); default keeps CI cost.
 INSTANTIATE_TEST_SUITE_P(
     Seeds, TransparencyFuzz,
-    ::testing::Combine(::testing::Range(0, 60), ::testing::Bool()),
+    ::testing::Combine(::testing::Range(0, ::dim::fuzz::seed_budget(60)),
+                       ::testing::Bool()),
     [](const ::testing::TestParamInfo<FuzzParam>& info) {
       return "seed" + std::to_string(std::get<0>(info.param)) +
              (std::get<1>(info.param) ? "_spec" : "_nospec");
