@@ -11,11 +11,13 @@
 // Flags: --threads N, --points N (smoke: truncate grid, skip the tables),
 // --json PATH. See bench_util.hpp.
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "bench/bench_util.hpp"
 #include "bench/paper_reference.hpp"
 #include "rra/array_shape.hpp"
+#include "snap/resultstore.hpp"
 
 using namespace dim;
 using namespace dim::bench;
@@ -67,19 +69,50 @@ int main(int argc, char** argv) {
   // JSON, wall-clock comparison logged. Both runs collect per-point event
   // profiles so the aggregated per-configuration summary is covered by the
   // same determinism check.
+  // Optional on-disk cell memoization: with --result-store the first run
+  // fills the store and the serial re-run must hit every cell — zero
+  // re-simulations — while the byte-identity check below proves the cells
+  // reproduce the exact results.
+  std::unique_ptr<snap::ResultStore> store;
+  if (!cli.result_store_dir.empty()) {
+    store = std::make_unique<snap::ResultStore>(cli.result_store_dir);
+  }
+
   accel::SweepOptions opts;
   opts.threads = cli.threads;
   opts.collect_profiles = true;
+  opts.result_cache = store.get();
   const accel::SweepEngine engine(opts);
   auto t0 = std::chrono::steady_clock::now();
   const auto results = engine.run(grid);
   const double parallel_s = seconds_since(t0);
+  const snap::ResultStore::Counters after_first =
+      store ? store->counters() : snap::ResultStore::Counters{};
 
   accel::SweepOptions serial_opts = opts;
   serial_opts.threads = 1;
   t0 = std::chrono::steady_clock::now();
   const auto serial = accel::SweepEngine(serial_opts).run(grid);
   const double serial_s = seconds_since(t0);
+
+  if (store) {
+    const snap::ResultStore::Counters c = store->counters();
+    const uint64_t rerun_misses = c.misses - after_first.misses;
+    std::printf("result store: first run %llu hits / %llu misses, re-run "
+                "%llu hits / %llu misses (%llu cells stored, %llu corrupt "
+                "discarded)\n",
+                static_cast<unsigned long long>(after_first.hits),
+                static_cast<unsigned long long>(after_first.misses),
+                static_cast<unsigned long long>(c.hits - after_first.hits),
+                static_cast<unsigned long long>(rerun_misses),
+                static_cast<unsigned long long>(c.stores),
+                static_cast<unsigned long long>(c.corrupt_discards));
+    if (rerun_misses != 0) {
+      std::fprintf(stderr, "result store failed to memoize: %llu cells re-simulated\n",
+                   static_cast<unsigned long long>(rerun_misses));
+      return 1;
+    }
+  }
 
   require_transparent(results);
   std::ostringstream json_par, json_ser;

@@ -56,14 +56,17 @@ inline double mean(const std::vector<double>& v) {
 }
 
 // Common flags for the sweep-engine benches:
-//   --threads N   worker threads (0 = hardware concurrency)
-//   --points N    truncate the grid to its first N points (CI smoke)
-//   --json PATH   dump the aggregated sweep as JSON
+//   --threads N         worker threads (0 = hardware concurrency)
+//   --points N          truncate the grid to its first N points (CI smoke)
+//   --json PATH         dump the aggregated sweep as JSON
+//   --result-store DIR  memoize sweep cells on disk (snap::ResultStore);
+//                       a warm store re-simulates nothing
 // Anything else is left in `positional` for the bench to interpret.
 struct SweepCli {
   unsigned threads = 0;
   size_t points = 0;  // 0 = full grid
   std::string json_path;
+  std::string result_store_dir;
   std::vector<std::string> positional;
 };
 
@@ -78,6 +81,8 @@ inline SweepCli parse_sweep_cli(int argc, char** argv) {
       cli.points = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--json") {
       cli.json_path = value();
+    } else if (arg == "--result-store") {
+      cli.result_store_dir = value();
     } else {
       cli.positional.push_back(arg);
     }

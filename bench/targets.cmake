@@ -18,6 +18,7 @@ set(DIMSIM_BENCHES
   bench_heterogeneous
   bench_related_work
   bench_ablation_btcost
+  bench_warmstart
 )
 
 foreach(b ${DIMSIM_BENCHES})

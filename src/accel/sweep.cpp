@@ -18,8 +18,14 @@ SweepEngine::SweepEngine(SweepOptions options)
 
 namespace {
 
-SweepResult run_point(const SweepPoint& point, size_t index, bool collect_profile) {
+SweepResult run_point(const SweepPoint& point, size_t index, bool collect_profile,
+                      ResultCache* cache) {
   SweepResult result;
+  if (cache != nullptr && cache->load(point, collect_profile, result)) {
+    result.index = index;
+    result.label = point.label;
+    return result;
+  }
   result.index = index;
   result.label = point.label;
   if (collect_profile) {
@@ -46,6 +52,7 @@ SweepResult run_point(const SweepPoint& point, size_t index, bool collect_profil
         result.accelerated.final_state.output == result.baseline.final_state.output &&
         result.accelerated.memory_hash == result.baseline.memory_hash;
   }
+  if (cache != nullptr) cache->store(point, collect_profile, result);
   return result;
 }
 
@@ -59,7 +66,8 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
       static_cast<unsigned>(std::min<size_t>(threads_, points.size()));
   if (workers <= 1) {
     for (size_t i = 0; i < points.size(); ++i) {
-      results[i] = run_point(points[i], i, options_.collect_profiles);
+      results[i] = run_point(points[i], i, options_.collect_profiles,
+                             options_.result_cache);
     }
     return results;
   }
@@ -76,7 +84,8 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
       try {
-        results[i] = run_point(points[i], i, options_.collect_profiles);
+        results[i] = run_point(points[i], i, options_.collect_profiles,
+                               options_.result_cache);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

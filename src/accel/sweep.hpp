@@ -58,6 +58,25 @@ struct SweepResult {
   }
 };
 
+// Memoization hook for sweep cells. A store that recognizes a point (by
+// whatever identity it derives from the point — snap::ResultStore keys on
+// program hash + system fingerprint + a code version) fills the result
+// without the worker simulating anything; freshly computed results are
+// offered back. Implementations must be safe to call from multiple worker
+// threads concurrently. A loaded result must be exactly what run would
+// have produced — the engine does not re-verify.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+  // True on hit: `out` is filled completely except `index` and `label`,
+  // which the engine re-stamps from the live point (presentation fields,
+  // not part of the cell identity).
+  virtual bool load(const SweepPoint& point, bool collect_profiles,
+                    SweepResult& out) = 0;
+  virtual void store(const SweepPoint& point, bool collect_profiles,
+                     const SweepResult& result) = 0;
+};
+
 struct SweepOptions {
   unsigned threads = 0;  // 0 = std::thread::hardware_concurrency()
   // Collect a per-point obs::ProfileTable (configuration-lifecycle event
@@ -65,6 +84,10 @@ struct SweepOptions {
   // ProfilingSink — any event_sink set on a point's SystemConfig is
   // overridden while collecting, so no sink is ever shared across threads.
   bool collect_profiles = false;
+  // Optional persistent cell memoization (not owned; must outlive run()).
+  // Results are byte-identical with the cache enabled, disabled, or shared
+  // across runs and thread counts — it only skips redundant simulation.
+  ResultCache* result_cache = nullptr;
 };
 
 class SweepEngine {

@@ -1,5 +1,7 @@
 #include "accel/system.hpp"
 
+#include <limits>
+
 #include "common/bitutil.hpp"
 #include "isa/decoder.hpp"
 #include "sim/executor.hpp"
@@ -127,11 +129,15 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
 }
 
 AccelStats AcceleratedSystem::run() {
-  AccelStats stats;
-  running_stats_ = &stats;  // event stamps read the live instruction count
+  return run_until(std::numeric_limits<uint64_t>::max());
+}
+
+AccelStats AcceleratedSystem::run_until(uint64_t instruction_boundary) {
+  AccelStats& stats = stats_;
   const uint64_t max_instructions = config_.machine.max_instructions;
 
-  while (!state_.halted && stats.instructions < max_instructions) {
+  while (!state_.halted && stats.instructions < max_instructions &&
+         stats.instructions < instruction_boundary) {
     // Probe the reconfiguration cache (unless an extension capture is in
     // flight — DIM must then observe the raw stream).
     if (config_.array_enabled && !translator_->extending()) {
@@ -190,7 +196,9 @@ AccelStats AcceleratedSystem::run() {
     }
   }
 
-  stats.hit_limit = !state_.halted;
+  // Derived fields are recomputed from the live components on every exit,
+  // so they are correct both at a checkpoint boundary and at the end.
+  stats.hit_limit = !state_.halted && stats.instructions >= max_instructions;
   stats.proc_cycles = pipeline_.cycles();
   stats.array_cycles = array_cycle_acc_;
   stats.cycles = stats.proc_cycles + stats.array_cycles;
@@ -202,7 +210,6 @@ AccelStats AcceleratedSystem::run() {
   stats.config_words_written = rcache_->words_written();
   stats.final_state = state_;
   stats.memory_hash = memory_.content_hash();
-  running_stats_ = nullptr;
   return stats;
 }
 

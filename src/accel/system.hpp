@@ -25,6 +25,10 @@
 #include "sim/machine.hpp"
 #include "sim/pipeline.hpp"
 
+namespace dim::snap {
+struct SystemAccess;  // snapshot serializer (snap/snapshot.cpp)
+}
+
 namespace dim::accel {
 
 struct SystemConfig {
@@ -78,7 +82,26 @@ class AcceleratedSystem : private obs::RunClock {
   AcceleratedSystem(const asmblr::Program& program, const SystemConfig& config);
   ~AcceleratedSystem();
 
+  // Runs to halt or the configured instruction limit. Statistics live in
+  // the system and accumulate across calls, so run() after run_until() is
+  // exactly the continuation of the same run.
   AccelStats run();
+
+  // Runs until halt, the configured limit, or `instruction_boundary`
+  // committed instructions — whichever comes first — and returns the
+  // statistics so far. A run stopped here and then continued (run() /
+  // run_until()) retires the identical instruction stream, cycle for
+  // cycle, as one uninterrupted run: the loop merely pauses between two
+  // retirements. This is the checkpoint hook of snap/snapshot.hpp —
+  // stop at a boundary, save_snapshot, and a restored system continues
+  // bit-identically (pinned by the resume-equals-straight-run oracle in
+  // tests/test_snapshot.cpp). The boundary can be overshot by one array
+  // activation, which commits a whole translated sequence at once.
+  AccelStats run_until(uint64_t instruction_boundary);
+
+  // Statistics accumulated so far (the counters the next run_until
+  // continues from; derived fields are refreshed on every run_until exit).
+  const AccelStats& stats() const { return stats_; }
 
   // Introspection for tests.
   bt::ReconfigCache& rcache() { return *rcache_; }
@@ -87,12 +110,12 @@ class AcceleratedSystem : private obs::RunClock {
   mem::Memory& memory() { return memory_; }
 
  private:
+  friend struct snap::SystemAccess;  // checkpoint save/restore
+
   void execute_on_array(rra::Configuration* config, AccelStats& stats);
 
   // obs::RunClock — the stamp every emitted event carries.
-  uint64_t retired_instructions() const override {
-    return running_stats_ != nullptr ? running_stats_->instructions : 0;
-  }
+  uint64_t retired_instructions() const override { return stats_.instructions; }
   uint64_t clock_proc_cycles() const override { return pipeline_.cycles(); }
   uint64_t clock_array_cycles() const override { return array_cycle_acc_; }
 
@@ -113,11 +136,12 @@ class AcceleratedSystem : private obs::RunClock {
 
   uint64_t array_cycle_acc_ = 0;  // array cycles (outside the pipeline model)
 
+  // The run's live counters (event stamps read instructions from here).
+  AccelStats stats_;
+
   // Event tracing: stamped stream shared with the translator and rcache;
-  // points at config_.event_sink (null = off). running_stats_ is the live
-  // counter block of the current run() for the instruction stamp.
+  // points at config_.event_sink (null = off).
   obs::EventStream events_;
-  const AccelStats* running_stats_ = nullptr;
 };
 
 // Runs `program` both on the plain MIPS and on MIPS+DIM+array with the same

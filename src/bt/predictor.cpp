@@ -1,5 +1,7 @@
 #include "bt/predictor.hpp"
 
+#include <algorithm>
+
 namespace dim::bt {
 
 void BimodalPredictor::update(uint32_t pc, bool taken) {
@@ -24,6 +26,18 @@ std::optional<bool> BimodalPredictor::saturated_direction(uint32_t pc) const {
 uint8_t BimodalPredictor::counter(uint32_t pc) const {
   auto it = counters_.find(pc);
   return it == counters_.end() ? uint8_t{1} : it->second;
+}
+
+std::vector<std::pair<uint32_t, uint8_t>> BimodalPredictor::export_counters() const {
+  std::vector<std::pair<uint32_t, uint8_t>> out(counters_.begin(), counters_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BimodalPredictor::restore_counters(
+    const std::vector<std::pair<uint32_t, uint8_t>>& counters) {
+  counters_.clear();
+  for (const auto& [pc, c] : counters) counters_[pc] = c;
 }
 
 }  // namespace dim::bt

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dim::bt {
 
@@ -28,6 +30,11 @@ class BimodalPredictor {
 
   size_t tracked_branches() const { return counters_.size(); }
   void reset() { counters_.clear(); }
+
+  // Checkpoint support: every (pc, counter) pair ascending by PC, so the
+  // serialized bytes do not depend on hash-map iteration order.
+  std::vector<std::pair<uint32_t, uint8_t>> export_counters() const;
+  void restore_counters(const std::vector<std::pair<uint32_t, uint8_t>>& counters);
 
  private:
   std::unordered_map<uint32_t, uint8_t> counters_;

@@ -1,5 +1,8 @@
 #include "bt/rcache.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace dim::bt {
 
 void ReconfigCache::emit(obs::EventKind kind, uint32_t pc, int32_t words) {
@@ -55,6 +58,49 @@ void ReconfigCache::insert(rra::Configuration config) {
   order_pos_.emplace(pc, std::prev(order_.end()));
   ++insertions_;
   emit(obs::EventKind::kRcacheInsert, pc, static_cast<int32_t>(words));
+}
+
+std::vector<rra::Configuration> ReconfigCache::export_entries() const {
+  std::vector<rra::Configuration> out;
+  out.reserve(entries_.size());
+  for (uint32_t pc : order_) out.push_back(*entries_.at(pc));
+  return out;
+}
+
+void ReconfigCache::restore(std::vector<rra::Configuration> entries,
+                            const RcacheCounters& counters) {
+  if (entries.size() > slots_) {
+    throw std::invalid_argument("restore of " + std::to_string(entries.size()) +
+                                " entries into a " + std::to_string(slots_) +
+                                "-slot cache");
+  }
+  entries_.clear();
+  order_.clear();
+  order_pos_.clear();
+  for (rra::Configuration& config : entries) {
+    const uint32_t pc = config.start_pc;
+    if (!entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)))
+             .second) {
+      throw std::invalid_argument("duplicate start PC in restored cache entries");
+    }
+    order_.push_back(pc);
+    order_pos_.emplace(pc, std::prev(order_.end()));
+  }
+  hits_ = counters.hits;
+  misses_ = counters.misses;
+  insertions_ = counters.insertions;
+  evictions_ = counters.evictions;
+  flushes_ = counters.flushes;
+  words_written_ = counters.words_written;
+}
+
+bool ReconfigCache::preload(rra::Configuration config) {
+  if (entries_.size() >= slots_ || entries_.count(config.start_pc) != 0) return false;
+  const uint32_t pc = config.start_pc;
+  entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)));
+  order_.push_back(pc);
+  order_pos_.emplace(pc, std::prev(order_.end()));
+  return true;
 }
 
 void ReconfigCache::flush(uint32_t pc) {

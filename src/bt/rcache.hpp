@@ -18,6 +18,16 @@ namespace dim::bt {
 // bench.
 enum class Replacement : uint8_t { kFifo, kLru };
 
+// The cache's statistic counters as one block, exported for checkpointing.
+struct RcacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+  uint64_t words_written = 0;
+};
+
 class ReconfigCache {
  public:
   explicit ReconfigCache(size_t slots, Replacement policy = Replacement::kFifo)
@@ -90,6 +100,30 @@ class ReconfigCache {
   std::vector<uint32_t> fifo_order() const {
     return std::vector<uint32_t>(order_.begin(), order_.end());
   }
+
+  RcacheCounters counters() const {
+    return {hits_, misses_, insertions_, evictions_, flushes_, words_written_};
+  }
+
+  // Stored configurations in eviction order (oldest first) — together with
+  // counters(), the cache's complete checkpointable state.
+  std::vector<rra::Configuration> export_entries() const;
+
+  // Checkpoint restore: replaces the whole cache with `entries` (oldest
+  // first) and the given counters. Completely silent — no statistics, no
+  // lifecycle events — because restoring state is not cache activity.
+  // Entries beyond slots() or with duplicate start PCs are rejected
+  // (std::invalid_argument): a checkpoint of a valid cache never has them.
+  void restore(std::vector<rra::Configuration> entries,
+               const RcacheCounters& counters);
+
+  // Warm-start preload: stores one configuration silently (no insertion /
+  // words-written accounting, no events) so a pre-loaded cache begins its
+  // run with zeroed statistics — the paper's counters measure what the
+  // RUN does, not what the file shipped. Returns false (and stores
+  // nothing) when the cache is full or the start PC is already present;
+  // unlike insert(), preloading never evicts.
+  bool preload(rra::Configuration config);
 
  private:
   using OrderList = std::list<uint32_t>;

@@ -46,6 +46,38 @@ ConfigBuilder::ConfigBuilder(uint32_t start_pc, const TranslatorParams& params)
   last_writer_row_.fill(-1);
 }
 
+ConfigBuilder::ConfigBuilder(const BuilderState& state, const TranslatorParams& params)
+    : params_(params), start_pc_(state.start_pc) {
+  ops_ = state.ops;
+  rows_.reserve(state.rows.size());
+  for (const std::array<int, 3>& r : state.rows) {
+    rows_.push_back(RowUse{r[0], r[1], r[2]});
+  }
+  last_writer_row_ = state.last_writer_row;
+  input_ctx_ = std::bitset<rra::kNumCtxRegs>(state.input_ctx_bits);
+  written_ = std::bitset<rra::kNumCtxRegs>(state.written_bits);
+  last_mem_row_ = state.last_mem_row;
+  last_store_row_ = state.last_store_row;
+  bb_ = state.bb;
+  immediates_ = state.immediates;
+}
+
+BuilderState ConfigBuilder::export_state() const {
+  BuilderState s;
+  s.start_pc = start_pc_;
+  s.ops = ops_;
+  s.rows.reserve(rows_.size());
+  for (const RowUse& r : rows_) s.rows.push_back({r.alu, r.mul, r.ldst});
+  s.last_writer_row = last_writer_row_;
+  s.input_ctx_bits = input_ctx_.to_ullong();
+  s.written_bits = written_.to_ullong();
+  s.last_mem_row = last_mem_row_;
+  s.last_store_row = last_store_row_;
+  s.bb = bb_;
+  s.immediates = immediates_;
+  return s;
+}
+
 bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
                           bool predicted_taken) {
   const FuKind kind = fu_for(instr, is_branch);
@@ -272,6 +304,26 @@ bool Translator::begin_extension(const rra::Configuration& config,
   emit(obs::EventKind::kExtensionBegun, config.start_pc,
        config.instruction_count(), config.num_bbs);
   return true;
+}
+
+TranslatorState Translator::export_state() const {
+  TranslatorState s;
+  s.stats = stats_;
+  s.start_pending = start_pending_;
+  s.extending = extending_;
+  if (builder_) s.builder = builder_->export_state();
+  return s;
+}
+
+void Translator::restore_state(const TranslatorState& state) {
+  stats_ = state.stats;
+  start_pending_ = state.start_pending;
+  extending_ = state.extending;
+  if (state.builder) {
+    builder_.emplace(*state.builder, params_);
+  } else {
+    builder_.reset();
+  }
 }
 
 void Translator::observe(const sim::StepInfo& info) {

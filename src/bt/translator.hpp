@@ -79,10 +79,33 @@ struct TranslatorParams {
   FaultInjection fault = FaultInjection::kNone;
 };
 
+// Mutable state of one in-flight ConfigBuilder, exported for
+// checkpointing. A checkpoint can land in the middle of a capture, and a
+// resumed run must keep building the configuration exactly where the
+// straight run would — so the dependence/resource tables are serialized
+// as-is, never reconstructed by replaying ops (replaying would re-apply
+// fault injection and double-corrupt planted-bug ops).
+struct BuilderState {
+  uint32_t start_pc = 0;
+  std::vector<rra::ArrayOp> ops;
+  std::vector<std::array<int, 3>> rows;  // per-row units in use: alu, mul, ldst
+  std::array<int, rra::kNumCtxRegs> last_writer_row{};
+  uint64_t input_ctx_bits = 0;  // kNumCtxRegs (34) bits fit one u64
+  uint64_t written_bits = 0;
+  int last_mem_row = -1;
+  int last_store_row = -1;
+  int bb = 0;
+  int immediates = 0;
+};
+
 // The DIM detection-phase tables for one in-flight translation.
 class ConfigBuilder {
  public:
   ConfigBuilder(uint32_t start_pc, const TranslatorParams& params);
+
+  // Checkpoint restore: rebuilds the builder from exported state. The
+  // params must be the ones the state was exported under.
+  ConfigBuilder(const BuilderState& state, const TranslatorParams& params);
 
   // Attempts to place a (supported, non-branch) instruction. Returns false
   // when a capacity limit is hit; the builder is left unchanged.
@@ -98,6 +121,8 @@ class ConfigBuilder {
   bool replay(const rra::Configuration& config);
 
   rra::Configuration finalize(uint32_t end_pc) const;
+
+  BuilderState export_state() const;
 
   int size() const { return static_cast<int>(ops_.size()); }
   int num_bbs() const { return bb_ + 1; }
@@ -136,6 +161,15 @@ struct TranslatorStats {
   uint64_t observed_instructions = 0;
 };
 
+// The translator's complete checkpointable state: counters, the detection
+// latches, and the in-flight capture (if one is open).
+struct TranslatorState {
+  TranslatorStats stats;
+  bool start_pending = true;
+  bool extending = false;
+  std::optional<BuilderState> builder;
+};
+
 // The detection engine. Consumes the retired stream of the processor and
 // fills the reconfiguration cache. Runs "in parallel": it costs no cycles.
 class Translator {
@@ -160,6 +194,11 @@ class Translator {
   bool capturing() const { return builder_.has_value(); }
   const TranslatorStats& stats() const { return stats_; }
   const TranslatorParams& params() const { return params_; }
+
+  // Checkpoint support. Restore is silent (no events): restoring state is
+  // not translation activity.
+  TranslatorState export_state() const;
+  void restore_state(const TranslatorState& state);
 
   // Attaches the capture-lifecycle event stream (started / aborted /
   // too-short / finalized, extension begun / completed). Null disables.

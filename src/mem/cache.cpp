@@ -1,5 +1,8 @@
 #include "mem/cache.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace dim::mem {
 namespace {
 
@@ -38,6 +41,16 @@ void Cache::reset() {
   tags_.assign(num_lines_, 0);
   hits_ = 0;
   misses_ = 0;
+}
+
+void Cache::restore_state(const CacheState& state) {
+  if (state.tags.size() != tags_.size()) {
+    throw std::invalid_argument("cache state has " + std::to_string(state.tags.size()) +
+                                " tags, geometry needs " + std::to_string(tags_.size()));
+  }
+  tags_ = state.tags;
+  hits_ = state.hits;
+  misses_ = state.misses;
 }
 
 }  // namespace dim::mem

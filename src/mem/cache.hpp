@@ -18,6 +18,14 @@ struct CacheParams {
   bool enabled = false;        // default: perfect memory (paper baseline)
 };
 
+// Mutable state of a Cache (everything except its geometry), exported for
+// checkpointing. `tags` has one entry per line of the configured geometry.
+struct CacheState {
+  std::vector<uint64_t> tags;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
 class Cache {
  public:
   explicit Cache(const CacheParams& params);
@@ -26,6 +34,11 @@ class Cache {
   uint32_t access(uint32_t addr);
 
   void reset();
+
+  // Checkpoint support. restore_state throws std::invalid_argument when
+  // the tag count does not match this cache's geometry.
+  CacheState export_state() const { return {tags_, hits_, misses_}; }
+  void restore_state(const CacheState& state);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }

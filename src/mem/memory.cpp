@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 namespace dim::mem {
 
@@ -89,6 +91,29 @@ uint64_t Memory::content_hash() const {
     }
   }
   return h;
+}
+
+std::vector<std::pair<uint32_t, const std::vector<uint8_t>*>> Memory::pages_sorted()
+    const {
+  std::vector<std::pair<uint32_t, const Page*>> out;
+  out.reserve(pages_.size());
+  for (const auto& [key, page] : pages_) out.emplace_back(key, &page);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Memory::restore_pages(
+    const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& pages) {
+  for (const auto& [key, bytes] : pages) {
+    if (bytes.size() != kPageSize) {
+      throw std::invalid_argument("page " + std::to_string(key) + " has " +
+                                  std::to_string(bytes.size()) + " bytes, expected " +
+                                  std::to_string(kPageSize));
+    }
+  }
+  pages_.clear();
+  for (const auto& [key, bytes] : pages) pages_[key] = bytes;
 }
 
 std::optional<uint32_t> Memory::first_difference(const Memory& other) const {

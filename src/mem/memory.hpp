@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace dim::mem {
@@ -40,6 +41,19 @@ class Memory {
   // by the differential fuzzer to pinpoint a memory divergence instead of
   // just reporting mismatching hashes.
   std::optional<uint32_t> first_difference(const Memory& other) const;
+
+  // Sparse-page iteration for serialization: every allocated page as
+  // (page index, bytes), ascending by index. The page index is the address
+  // right-shifted by kPageBits; an allocated all-zero page IS reported
+  // (it is part of the image identity — see content_hash). Pointers are
+  // invalidated by any write to an unallocated page.
+  std::vector<std::pair<uint32_t, const std::vector<uint8_t>*>> pages_sorted() const;
+
+  // Replaces the entire image with exactly `pages` (deserialization).
+  // Every page must be kPageSize bytes; throws std::invalid_argument
+  // otherwise. Duplicate indices keep the last occurrence.
+  void restore_pages(
+      const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& pages);
 
  private:
   using Page = std::vector<uint8_t>;

@@ -53,27 +53,29 @@ void ProfileTable::add(const Event& event) {
 }
 
 void ProfileTable::merge(const ProfileTable& other) {
-  for (const auto& [pc, o] : other.profiles_) {
-    ConfigProfile& p = profiles_[pc];
-    p.start_pc = pc;
-    p.activations += o.activations;
-    p.committed_ops += o.committed_ops;
-    p.misspeculations += o.misspeculations;
-    p.exec_cycles += o.exec_cycles;
-    p.reconfig_stall_cycles += o.reconfig_stall_cycles;
-    p.dcache_stall_cycles += o.dcache_stall_cycles;
-    p.finalize_cycles += o.finalize_cycles;
-    p.misspec_penalty_cycles += o.misspec_penalty_cycles;
-    p.captures_started += o.captures_started;
-    p.captures_aborted += o.captures_aborted;
-    p.captures_too_short += o.captures_too_short;
-    p.finalizations += o.finalizations;
-    p.insertions += o.insertions;
-    p.evictions += o.evictions;
-    p.flushes += o.flushes;
-    p.extensions_begun += o.extensions_begun;
-    p.extensions_completed += o.extensions_completed;
-  }
+  for (const auto& [pc, o] : other.profiles_) add_profile(o);
+}
+
+void ProfileTable::add_profile(const ConfigProfile& o) {
+  ConfigProfile& p = profiles_[o.start_pc];
+  p.start_pc = o.start_pc;
+  p.activations += o.activations;
+  p.committed_ops += o.committed_ops;
+  p.misspeculations += o.misspeculations;
+  p.exec_cycles += o.exec_cycles;
+  p.reconfig_stall_cycles += o.reconfig_stall_cycles;
+  p.dcache_stall_cycles += o.dcache_stall_cycles;
+  p.finalize_cycles += o.finalize_cycles;
+  p.misspec_penalty_cycles += o.misspec_penalty_cycles;
+  p.captures_started += o.captures_started;
+  p.captures_aborted += o.captures_aborted;
+  p.captures_too_short += o.captures_too_short;
+  p.finalizations += o.finalizations;
+  p.insertions += o.insertions;
+  p.evictions += o.evictions;
+  p.flushes += o.flushes;
+  p.extensions_begun += o.extensions_begun;
+  p.extensions_completed += o.extensions_completed;
 }
 
 const ConfigProfile* ProfileTable::find(uint32_t start_pc) const {

@@ -68,6 +68,11 @@ class ProfileTable {
   // independent of worker scheduling.
   void merge(const ProfileTable& other);
 
+  // Folds one whole profile into the entry keyed by its start_pc —
+  // deserialization's counterpart to merge() (snap/codec.cpp rebuilds a
+  // table profile-by-profile from a result-store cell).
+  void add_profile(const ConfigProfile& profile);
+
   size_t size() const { return profiles_.size(); }
   bool empty() const { return profiles_.empty(); }
   const ConfigProfile* find(uint32_t start_pc) const;

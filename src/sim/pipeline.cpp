@@ -79,4 +79,30 @@ void PipelineModel::reset() {
   dcache_.reset();
 }
 
+PipelineState PipelineModel::export_state() const {
+  PipelineState s;
+  s.cycles = cycles_;
+  s.pending_load_reg = pending_load_reg_;
+  s.hilo_ready = hilo_ready_;
+  s.slot_open = slot_open_;
+  s.slot_dest = slot_dest_;
+  s.slot_mem = slot_mem_;
+  s.slot_hilo = slot_hilo_;
+  s.icache = icache_.export_state();
+  s.dcache = dcache_.export_state();
+  return s;
+}
+
+void PipelineModel::restore_state(const PipelineState& state) {
+  icache_.restore_state(state.icache);
+  dcache_.restore_state(state.dcache);
+  cycles_ = state.cycles;
+  pending_load_reg_ = state.pending_load_reg;
+  hilo_ready_ = state.hilo_ready;
+  slot_open_ = state.slot_open;
+  slot_dest_ = state.slot_dest;
+  slot_mem_ = state.slot_mem;
+  slot_hilo_ = state.slot_hilo;
+}
+
 }  // namespace dim::sim

@@ -32,6 +32,22 @@ struct TimingParams {
   mem::CacheParams dcache;
 };
 
+// Mutable state of a PipelineModel, exported for checkpointing: the cycle
+// counter, every inter-instruction hazard latch, and both cache models.
+// Everything a resumed run needs to charge the next instruction exactly as
+// an uninterrupted run would.
+struct PipelineState {
+  uint64_t cycles = 0;
+  int pending_load_reg = -1;
+  uint64_t hilo_ready = 0;
+  bool slot_open = false;
+  int slot_dest = -1;
+  bool slot_mem = false;
+  bool slot_hilo = false;
+  mem::CacheState icache;
+  mem::CacheState dcache;
+};
+
 class PipelineModel {
  public:
   explicit PipelineModel(const TimingParams& params)
@@ -48,6 +64,11 @@ class PipelineModel {
   void charge(uint64_t cycles) { cycles_ += cycles; }
 
   void reset();
+
+  // Checkpoint support (see PipelineState). restore_state throws
+  // std::invalid_argument when a cache state does not fit the geometry.
+  PipelineState export_state() const;
+  void restore_state(const PipelineState& state);
 
   uint64_t cycles() const { return cycles_; }
   mem::Cache& icache() { return icache_; }

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "mem/cache.hpp"
 #include "mem/memory.hpp"
 
@@ -121,6 +126,99 @@ TEST(Cache, Reset) {
   EXPECT_EQ(c.hits(), 0u);
   EXPECT_EQ(c.misses(), 0u);
   EXPECT_GT(c.access(0), 0u);  // cold again
+}
+
+TEST(Memory, FirstDifferenceIdenticalImages) {
+  Memory a, b;
+  EXPECT_EQ(a.first_difference(b), std::nullopt);
+  a.write32(0x1000, 0xDEADBEEF);
+  b.write32(0x1000, 0xDEADBEEF);
+  EXPECT_EQ(a.first_difference(b), std::nullopt);
+  EXPECT_EQ(b.first_difference(a), std::nullopt);
+}
+
+TEST(Memory, FirstDifferenceReportsLowestDifferingByte) {
+  Memory a, b;
+  a.write8(0x2003, 7);
+  b.write8(0x2003, 9);
+  a.write8(0x2001, 1);  // lower difference added later must still win
+  EXPECT_EQ(a.first_difference(b), 0x2001u);
+  EXPECT_EQ(b.first_difference(a), 0x2001u);
+}
+
+TEST(Memory, FirstDifferenceStraddlesPageBoundary) {
+  // Last byte of page 0 equal, first byte of page 1 differs: the scan must
+  // cross into the next page instead of stopping at the boundary.
+  Memory a, b;
+  a.write8(Memory::kPageSize - 1, 0x11);
+  b.write8(Memory::kPageSize - 1, 0x11);
+  a.write8(Memory::kPageSize, 0x22);
+  b.write8(Memory::kPageSize, 0x33);
+  EXPECT_EQ(a.first_difference(b), Memory::kPageSize);
+
+  // A 32-bit write straddling the boundary differs only in its high bytes,
+  // which land on the second page.
+  Memory c, d;
+  c.write32(Memory::kPageSize - 2, 0xAABBCCDD);
+  d.write32(Memory::kPageSize - 2, 0x11BBCCDD);
+  EXPECT_EQ(c.first_difference(d), Memory::kPageSize + 1);
+}
+
+TEST(Memory, FirstDifferenceTreatsAbsentPagesAsZero) {
+  // One side allocated an all-zero page (write then overwrite with zero),
+  // the other never touched it: the images hold the same bytes, so there
+  // is no difference to report...
+  Memory a, b;
+  a.write8(0x30000, 0xFF);
+  a.write8(0x30000, 0x00);
+  EXPECT_EQ(a.pages_allocated(), 1u);
+  EXPECT_EQ(b.pages_allocated(), 0u);
+  EXPECT_EQ(a.first_difference(b), std::nullopt);
+  EXPECT_EQ(b.first_difference(a), std::nullopt);
+  // ...but the allocation set is part of the image identity, which the
+  // hash does see (a run that touched a page is distinguishable).
+  EXPECT_NE(a.content_hash(), b.content_hash());
+
+  // An absent page on one side with real bytes on the other compares
+  // against zeros.
+  b.write8(0x50004, 0xAB);
+  EXPECT_EQ(a.first_difference(b), 0x50004u);
+}
+
+TEST(Memory, PagesSortedAscendingAndSized) {
+  Memory m;
+  m.write8(3 * Memory::kPageSize + 5, 1);
+  m.write8(0 * Memory::kPageSize + 9, 2);
+  m.write8(7 * Memory::kPageSize + 1, 3);
+  const auto pages = m.pages_sorted();
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0].first, 0u);
+  EXPECT_EQ(pages[1].first, 3u);
+  EXPECT_EQ(pages[2].first, 7u);
+  for (const auto& [index, bytes] : pages) {
+    ASSERT_NE(bytes, nullptr);
+    EXPECT_EQ(bytes->size(), Memory::kPageSize);
+  }
+  EXPECT_EQ((*pages[1].second)[5], 1u);
+}
+
+TEST(Memory, RestorePagesReplacesTheImage) {
+  Memory src;
+  src.write32(0x1234, 0xCAFEBABE);
+  src.write8(5 * Memory::kPageSize, 0x42);
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> pages;
+  for (const auto& [index, bytes] : src.pages_sorted()) pages.emplace_back(index, *bytes);
+
+  Memory dst;
+  dst.write8(0x999, 0x77);  // must vanish: restore replaces, not merges
+  dst.restore_pages(pages);
+  EXPECT_EQ(dst.content_hash(), src.content_hash());
+  EXPECT_EQ(dst.first_difference(src), std::nullopt);
+  EXPECT_EQ(dst.read32(0x1234), 0xCAFEBABEu);
+  EXPECT_EQ(dst.read8(0x999), 0u);
+
+  // Wrong-sized pages are a deserialization bug, not a silent truncation.
+  EXPECT_THROW(dst.restore_pages({{0u, std::vector<uint8_t>(100)}}), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+// Content-addressed result store (snap/resultstore.hpp): sweeps are
+// byte-identical with the store disabled, cold, warm, or shared across
+// thread counts; a warm store performs zero simulations; corrupt cells are
+// discarded and recomputed, never propagated.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/sweep.hpp"
+#include "asm/assembler.hpp"
+#include "rra/array_shape.hpp"
+#include "snap/format.hpp"
+#include "snap/resultstore.hpp"
+#include "work/workload.hpp"
+
+namespace dim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dimsim-" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+struct Grid {
+  std::vector<asmblr::Program> programs;  // stable addresses for the points
+  std::vector<accel::SweepPoint> points;
+};
+
+// 2 workloads x 2 configurations, every point with a worker-computed
+// baseline — small enough for a unit test, rich enough that cells differ.
+Grid small_grid() {
+  Grid g;
+  g.programs.reserve(2);
+  for (const char* name : {"crc32", "bitcount"}) {
+    g.programs.push_back(asmblr::assemble(work::make_workload(name).source));
+  }
+  const accel::SystemConfig cfgs[2] = {
+      accel::SystemConfig::with(rra::ArrayShape::config1(), 8, false),
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 16, true)};
+  for (size_t w = 0; w < g.programs.size(); ++w) {
+    for (int c = 0; c < 2; ++c) {
+      accel::SweepPoint p;
+      p.label = std::string(w == 0 ? "crc32" : "bitcount") + "/C" + std::to_string(c + 1);
+      p.program = &g.programs[w];
+      p.config = cfgs[c];
+      p.run_baseline = true;
+      g.points.push_back(p);
+    }
+  }
+  return g;
+}
+
+std::string sweep_json(const std::vector<accel::SweepResult>& results) {
+  std::ostringstream out;
+  accel::write_sweep_json(out, results);
+  return out.str();
+}
+
+std::vector<accel::SweepResult> run_grid(const Grid& g, unsigned threads,
+                                         accel::ResultCache* cache) {
+  accel::SweepOptions opts;
+  opts.threads = threads;
+  opts.collect_profiles = true;
+  opts.result_cache = cache;
+  return accel::SweepEngine(opts).run(g.points);
+}
+
+TEST(ResultStore, MemoizedSweepIsByteIdenticalAcrossStoreStatesAndThreads) {
+  const Grid g = small_grid();
+  const std::string want = sweep_json(run_grid(g, 1, nullptr));
+  const std::string dir = fresh_dir("resultstore-identity");
+
+  {  // Cold store: every point is a miss, computed, and written back.
+    snap::ResultStore store(dir);
+    EXPECT_EQ(sweep_json(run_grid(g, 2, &store)), want);
+    const auto c = store.counters();
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_EQ(c.misses, g.points.size());
+    EXPECT_EQ(c.stores, g.points.size());
+  }
+  {  // Warm store, serial: zero simulations, same bytes.
+    snap::ResultStore store(dir);
+    EXPECT_EQ(sweep_json(run_grid(g, 1, &store)), want);
+    const auto c = store.counters();
+    EXPECT_EQ(c.hits, g.points.size());
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(c.stores, 0u);
+  }
+  {  // Warm store, multi-threaded: same bytes again.
+    snap::ResultStore store(dir);
+    EXPECT_EQ(sweep_json(run_grid(g, 4, &store)), want);
+    EXPECT_EQ(store.counters().hits, g.points.size());
+  }
+}
+
+TEST(ResultStore, CorruptCellIsDiscardedRecomputedAndRepaired) {
+  const Grid g = small_grid();
+  const std::string want = sweep_json(run_grid(g, 1, nullptr));
+  const std::string dir = fresh_dir("resultstore-corrupt");
+  {
+    snap::ResultStore store(dir);
+    run_grid(g, 1, &store);
+  }
+
+  // Corrupt one cell with bit rot and truncate another to nothing.
+  std::vector<fs::path> cells;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cell") cells.push_back(entry.path());
+  }
+  ASSERT_EQ(cells.size(), g.points.size());
+  {
+    std::fstream f(cells[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekg(size / 2);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(size / 2);
+    b = static_cast<char>(b ^ 0x5A);  // flip bits so the CRC must trip
+    f.write(&b, 1);
+  }
+  std::ofstream(cells[1], std::ios::binary | std::ios::trunc).close();
+
+  snap::ResultStore store(dir);
+  EXPECT_EQ(sweep_json(run_grid(g, 1, &store)), want);
+  auto c = store.counters();
+  EXPECT_EQ(c.corrupt_discards, 2u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.hits, g.points.size() - 2);
+  EXPECT_EQ(c.stores, 2u);  // the bad cells were recomputed and repaired
+
+  // After the repair the store is fully warm again.
+  snap::ResultStore repaired(dir);
+  EXPECT_EQ(sweep_json(run_grid(g, 1, &repaired)), want);
+  EXPECT_EQ(repaired.counters().hits, g.points.size());
+  EXPECT_EQ(repaired.counters().corrupt_discards, 0u);
+}
+
+TEST(ResultStore, CellKeyCoversBehaviorNotPresentation) {
+  const Grid g = small_grid();
+  accel::SweepPoint a = g.points[0];
+  accel::SweepPoint b = a;
+  b.label = "renamed";  // presentation only
+  EXPECT_EQ(snap::ResultStore::cell_key(a, true), snap::ResultStore::cell_key(b, true));
+
+  accel::SweepPoint c = a;
+  c.config.speculation = !c.config.speculation;  // behavior
+  EXPECT_NE(snap::ResultStore::cell_key(a, true), snap::ResultStore::cell_key(c, true));
+
+  accel::SweepPoint d = g.points[2];  // different program
+  EXPECT_NE(snap::ResultStore::cell_key(a, true), snap::ResultStore::cell_key(d, true));
+
+  // Profile collection changes what the cell carries.
+  EXPECT_NE(snap::ResultStore::cell_key(a, true), snap::ResultStore::cell_key(a, false));
+
+  // A worker-computed baseline is part of the cell; a live baseline
+  // pointer is supplied by the caller and must not alias with it.
+  accel::AccelStats live;
+  accel::SweepPoint e = a;
+  e.baseline = &live;
+  EXPECT_NE(snap::ResultStore::cell_key(a, true), snap::ResultStore::cell_key(e, true));
+}
+
+TEST(ResultStore, LiveBaselineIsReattachedOnHit) {
+  Grid g = small_grid();
+  // Precompute one workload's baseline and share it, the sweep-grid idiom
+  // bench_util uses.
+  const accel::AccelStats shared =
+      accel::baseline_as_stats(g.programs[0], sim::MachineConfig{});
+  g.points.resize(1);
+  g.points[0].baseline = &shared;
+  g.points[0].run_baseline = true;
+
+  const std::string dir = fresh_dir("resultstore-baseline");
+  const std::string want = sweep_json(run_grid(g, 1, nullptr));
+  {
+    snap::ResultStore store(dir);
+    EXPECT_EQ(sweep_json(run_grid(g, 1, &store)), want);
+  }
+  snap::ResultStore store(dir);
+  const auto results = run_grid(g, 1, &store);
+  EXPECT_EQ(store.counters().hits, 1u);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].has_baseline);
+  EXPECT_EQ(results[0].baseline.cycles, shared.cycles);
+  EXPECT_TRUE(results[0].transparent);
+  EXPECT_EQ(sweep_json(results), want);
+}
+
+TEST(ResultStore, UnusableDirectoryThrowsIo) {
+  const fs::path file = fs::path(::testing::TempDir()) / "dimsim-rs-blocker";
+  std::ofstream(file).put('x');
+  try {
+    snap::ResultStore store((file / "sub").string());
+    FAIL() << "directory under a regular file accepted";
+  } catch (const snap::SnapshotError& e) {
+    EXPECT_EQ(e.code(), snap::SnapErrc::kIo);
+  }
+  fs::remove(file);
+}
+
+}  // namespace
+}  // namespace dim

@@ -1,0 +1,389 @@
+// The snapshot subsystem's contract (snap/snapshot.hpp):
+//   1. Resume-equals-straight-run: checkpointing at any instruction
+//      boundary and resuming in a fresh process-equivalent system yields
+//      bit-identical statistics, architectural state, memory image and
+//      observation event stream — on real workloads and on fuzz programs.
+//   2. Round-trip stability: save -> restore -> save reproduces the bytes.
+//   3. Malformed artifacts are rejected with the precise SnapErrc class,
+//      never UB — pinned by a bit-flip/truncation fuzzer over valid files.
+//   4. The serialized format is frozen by goldens: bytes may only change
+//      together with a kFormatVersion bump (docs/persistence.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "fuzz/generator.hpp"
+#include "obs/event.hpp"
+#include "snap/codec.hpp"
+#include "snap/io.hpp"
+#include "snap/snapshot.hpp"
+#include "snap/warmstart.hpp"
+#include "work/workload.hpp"
+
+namespace dim {
+namespace {
+
+// Long enough to fill the cache, speculate, extend and evict with the
+// small test configuration below.
+const char* kCheckpointProgram = R"(
+        .data
+arr:    .word 0
+        .space 2048
+        .text
+main:   la $t0, arr
+        li $t1, 400
+        li $t2, 0
+        li $t3, 0
+loop:   sll $t4, $t3, 2
+        andi $t4, $t4, 1023
+        addu $t5, $t0, $t4
+        lw $t6, 0($t5)
+        addu $t6, $t6, $t3
+        sw $t6, 0($t5)
+        addu $t2, $t2, $t6
+        addiu $t3, $t3, 1
+        bne $t3, $t1, loop
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+accel::SystemConfig small_config() {
+  // Tiny cache so checkpoints land amid evictions and extensions too.
+  return accel::SystemConfig::with(rra::ArrayShape::config2(), 8, true);
+}
+
+std::vector<uint8_t> stats_bytes(const accel::AccelStats& stats) {
+  snap::Writer w;
+  snap::put_stats(w, stats);
+  return w.take();
+}
+
+std::string events_text(const std::vector<obs::Event>& a,
+                        const std::vector<obs::Event>& b = {}) {
+  std::ostringstream out;
+  obs::write_events_jsonl(out, a);
+  obs::write_events_jsonl(out, b);
+  return out.str();
+}
+
+// The oracle: straight run vs run-to-boundary + snapshot + restore + run.
+// Every comparison is byte-level (serialized stats embed the final CPU
+// state, program output and memory hash; the event stream carries the
+// instruction/cycle stamps of every configuration-lifecycle event).
+void expect_resume_equals_straight(const asmblr::Program& program,
+                                   const accel::SystemConfig& config,
+                                   uint64_t boundary) {
+  obs::RecordingSink straight_sink;
+  accel::SystemConfig straight_cfg = config;
+  straight_cfg.event_sink = &straight_sink;
+  accel::AcceleratedSystem straight(program, straight_cfg);
+  const accel::AccelStats want = straight.run();
+
+  obs::RecordingSink first_sink;
+  accel::SystemConfig first_cfg = config;
+  first_cfg.event_sink = &first_sink;
+  std::stringstream file;
+  uint64_t at_checkpoint = 0;
+  {
+    accel::AcceleratedSystem first(program, first_cfg);
+    at_checkpoint = first.run_until(boundary).instructions;
+    snap::save_snapshot(file, first, program);
+  }
+
+  obs::RecordingSink second_sink;
+  accel::SystemConfig second_cfg = config;
+  second_cfg.event_sink = &second_sink;
+  accel::AcceleratedSystem second(program, second_cfg);
+  snap::restore_snapshot(second, file, program);
+  ASSERT_EQ(second.stats().instructions, at_checkpoint);
+  const accel::AccelStats got = second.run();
+
+  EXPECT_EQ(stats_bytes(want), stats_bytes(got)) << "boundary " << boundary;
+  EXPECT_EQ(want.final_state.reg_hash(), got.final_state.reg_hash());
+  EXPECT_EQ(want.final_state.output, got.final_state.output);
+  EXPECT_EQ(want.memory_hash, got.memory_hash);
+  EXPECT_EQ(events_text(straight_sink.events()),
+            events_text(first_sink.events(), second_sink.events()))
+      << "boundary " << boundary;
+}
+
+TEST(Snapshot, ResumeMatchesStraightRunAcrossBoundaries) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  const accel::AccelStats full = accel::run_accelerated(program, small_config());
+  ASSERT_GT(full.instructions, 100u);
+  // Boundaries scattered over the run, including 0 (restore before any
+  // work) and one past the end (checkpoint of a halted system).
+  for (uint64_t boundary :
+       {uint64_t{0}, uint64_t{1}, full.instructions / 7, full.instructions / 3,
+        full.instructions / 2, full.instructions - 1, full.instructions + 5}) {
+    expect_resume_equals_straight(program, small_config(), boundary);
+  }
+}
+
+TEST(Snapshot, ResumeMatchesStraightRunOnRealPrograms) {
+  // Three real workloads from the paper's benchmark set, checkpointed at
+  // an early, a middle and a late boundary each.
+  for (const char* name : {"crc32", "quicksort", "bitcount"}) {
+    const work::Workload wl = work::make_workload(name);
+    const auto program = asmblr::assemble(wl.source);
+    const accel::AccelStats full = accel::run_accelerated(program, small_config());
+    for (uint64_t boundary :
+         {full.instructions / 5, full.instructions / 2, (full.instructions * 9) / 10}) {
+      expect_resume_equals_straight(program, small_config(), boundary);
+    }
+  }
+}
+
+TEST(Snapshot, SaveRestoreSaveIsByteStable) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  accel::AcceleratedSystem a(program, small_config());
+  a.run_until(500);
+  const std::vector<uint8_t> payload = snap::encode_snapshot(a, program);
+
+  accel::AcceleratedSystem b(program, small_config());
+  snap::restore_snapshot_payload(b, payload, program);
+  EXPECT_EQ(payload, snap::encode_snapshot(b, program));
+}
+
+TEST(Snapshot, InspectReportsTheSavedState) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  accel::AcceleratedSystem sys(program, small_config());
+  const accel::AccelStats at = sys.run_until(800);
+  const std::vector<uint8_t> payload = snap::encode_snapshot(sys, program);
+
+  const snap::SnapshotInfo info = snap::inspect_snapshot(payload);
+  EXPECT_EQ(info.program_hash, snap::program_hash(program));
+  EXPECT_EQ(info.stats.instructions, at.instructions);
+  EXPECT_EQ(info.rcache_entries.size(), sys.rcache().size());
+  EXPECT_EQ(info.rcache_counters.hits, sys.rcache().hits());
+  EXPECT_EQ(info.predictor_branches, sys.predictor().tracked_branches());
+  EXPECT_FALSE(info.cpu.halted);
+  // Entry order is the eviction order.
+  const std::vector<uint32_t> order = sys.rcache().fifo_order();
+  ASSERT_EQ(info.rcache_entries.size(), order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(info.rcache_entries[i].start_pc, order[i]);
+  }
+}
+
+TEST(Snapshot, RestoreIntoDifferentProgramOrConfigIsRejected) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  accel::AcceleratedSystem sys(program, small_config());
+  sys.run_until(200);
+  const std::vector<uint8_t> payload = snap::encode_snapshot(sys, program);
+
+  // Different program image.
+  const auto other = asmblr::assemble(work::make_workload("bitcount").source);
+  accel::AcceleratedSystem wrong_prog(other, small_config());
+  try {
+    snap::restore_snapshot_payload(wrong_prog, payload, other);
+    FAIL() << "mismatched program accepted";
+  } catch (const snap::SnapshotError& e) {
+    EXPECT_EQ(e.code(), snap::SnapErrc::kMismatch);
+  }
+
+  // Same program, different configuration.
+  accel::SystemConfig cfg = small_config();
+  cfg.speculation = false;
+  accel::AcceleratedSystem wrong_cfg(program, cfg);
+  try {
+    snap::restore_snapshot_payload(wrong_cfg, payload, program);
+    FAIL() << "mismatched configuration accepted";
+  } catch (const snap::SnapshotError& e) {
+    EXPECT_EQ(e.code(), snap::SnapErrc::kMismatch);
+  }
+}
+
+TEST(Snapshot, LoaderRejectsEachCorruptionClassDistinctly) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  accel::AcceleratedSystem sys(program, small_config());
+  sys.run_until(200);
+  std::stringstream file;
+  snap::save_snapshot(file, sys, program);
+  const std::string good = file.str();
+
+  const auto code_of = [&](std::string bytes) {
+    std::istringstream in(bytes);
+    accel::AcceleratedSystem target(program, small_config());
+    try {
+      snap::restore_snapshot(target, in, program);
+    } catch (const snap::SnapshotError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << "corrupt container accepted";
+    return snap::SnapErrc::kIo;
+  };
+
+  {  // empty / truncated header
+    EXPECT_EQ(code_of(""), snap::SnapErrc::kTruncated);
+    EXPECT_EQ(code_of(good.substr(0, 3)), snap::SnapErrc::kTruncated);
+    EXPECT_EQ(code_of(good.substr(0, 12)), snap::SnapErrc::kTruncated);
+  }
+  {  // bad magic
+    std::string bytes = good;
+    bytes[0] ^= 0x40;
+    EXPECT_EQ(code_of(bytes), snap::SnapErrc::kBadMagic);
+  }
+  {  // future format version
+    std::string bytes = good;
+    bytes[4] = static_cast<char>(snap::kFormatVersion + 1);
+    EXPECT_EQ(code_of(bytes), snap::SnapErrc::kBadVersion);
+  }
+  {  // truncated payload
+    EXPECT_EQ(code_of(good.substr(0, good.size() - 7)), snap::SnapErrc::kTruncated);
+  }
+  {  // payload bit rot
+    std::string bytes = good;
+    bytes[good.size() / 2] ^= 0x01;
+    EXPECT_EQ(code_of(bytes), snap::SnapErrc::kCrcMismatch);
+  }
+  {  // valid container of the wrong artifact kind
+    std::stringstream warm;
+    snap::save_warm_start(warm, sys, program);
+    EXPECT_EQ(code_of(warm.str()), snap::SnapErrc::kMismatch);
+  }
+}
+
+// Bit-flip/truncation fuzz over a valid snapshot: whatever the corruption,
+// the loader must either succeed or throw SnapshotError — never crash,
+// never throw anything else, never allocate absurdly. Catching by precise
+// type means an std::bad_alloc or std::length_error from a fuzzed count
+// fails the test.
+TEST(SnapshotFuzz, LoaderSurvivesBitFlipsAndTruncation) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  accel::AcceleratedSystem sys(program, small_config());
+  sys.run_until(700);
+  std::stringstream file;
+  snap::save_snapshot(file, sys, program);
+  const std::string good = file.str();
+
+  fuzz::Rng rng(0xD1345EEDull);
+  const int iterations = fuzz::seed_budget(300);
+  int rejected = 0;
+  for (int i = 0; i < iterations; ++i) {
+    std::string bytes = good;
+    // 1..4 corruptions: single-bit flips, byte rewrites, or a truncation.
+    const int edits = 1 + static_cast<int>(rng.next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      if (bytes.empty()) break;
+      const size_t pos = rng.next() % bytes.size();
+      switch (rng.next() % 3) {
+        case 0: bytes[pos] ^= static_cast<char>(1u << (rng.next() % 8)); break;
+        case 1: bytes[pos] = static_cast<char>(rng.next()); break;
+        default: bytes.resize(pos); break;
+      }
+    }
+    std::istringstream in(bytes);
+    accel::AcceleratedSystem target(program, small_config());
+    try {
+      snap::restore_snapshot(target, in, program);
+      // A corruption the CRC caught-and-matched by chance (or that only
+      // touched ignored trailing file bytes) may legitimately restore.
+    } catch (const snap::SnapshotError&) {
+      ++rejected;
+    }
+    // Anything else escapes and fails the test.
+  }
+  EXPECT_GT(rejected, iterations / 2);  // sanity: the fuzz did corrupt
+}
+
+// ---------------------------------------------------------------------------
+// Resume oracle over generated programs: branches, nested loops, aliasing
+// stores, speculation bait — checkpointed mid-run, including mid-capture.
+TEST(SnapshotFuzz, ResumeMatchesStraightRunOnGeneratedPrograms) {
+  const int seeds = fuzz::seed_budget(24);
+  int checked = 0;
+  for (int seed = 1; checked < seeds && seed < seeds * 4; ++seed) {
+    const fuzz::FuzzProgram fp = fuzz::generate_program(static_cast<uint64_t>(seed));
+    asmblr::Program program;
+    try {
+      program = asmblr::assemble(fp.render());
+    } catch (const asmblr::AsmError&) {
+      continue;  // generator emitted something our subset rejects; skip
+    }
+    const accel::AccelStats full = accel::run_accelerated(program, small_config());
+    if (full.instructions < 20) continue;  // too short to checkpoint meaningfully
+    fuzz::Rng rng(static_cast<uint64_t>(seed) * 0x9E3779B9u);
+    const uint64_t boundary = 1 + rng.next() % (full.instructions - 1);
+    expect_resume_equals_straight(program, small_config(), boundary);
+    ++checked;
+  }
+  EXPECT_GE(checked, (seeds * 5) / 6) << "generator produced too few usable programs";
+}
+
+// ---------------------------------------------------------------------------
+// Format goldens: the serialized bytes of a fixed recipe are committed to
+// tests/data/. If this test fails after an intentional format change, bump
+// snap::kFormatVersion and regenerate with DIMSIM_REGEN_GOLDENS=1.
+std::string golden_path(const char* name) {
+  return std::string(DIMSIM_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with DIMSIM_REGEN_GOLDENS=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void check_golden(const char* name, const std::string& produced) {
+  if (std::getenv("DIMSIM_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path(name), std::ios::binary);
+    out << produced;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+    return;
+  }
+  const std::string golden = read_file(golden_path(name));
+  if (golden.empty()) return;  // read_file already failed the test
+  ASSERT_GE(golden.size(), size_t{6});
+  const uint16_t golden_version =
+      static_cast<uint16_t>(static_cast<uint8_t>(golden[4]) |
+                            (static_cast<uint16_t>(static_cast<uint8_t>(golden[5])) << 8));
+  if (golden_version == snap::kFormatVersion) {
+    // Same declared version => the bytes must not have drifted. A diff
+    // here means the format changed without a version bump.
+    EXPECT_EQ(golden, produced)
+        << name << ": serialized format changed under unchanged "
+        << "kFormatVersion — bump snap::kFormatVersion and regenerate";
+  } else {
+    // The tree moved to a new version: the old-version golden must be
+    // rejected as such, which is the compatibility story for old files.
+    std::istringstream in(golden);
+    try {
+      snap::read_container(in, snap::ArtifactKind::kSnapshot);
+      FAIL() << name << ": old-version artifact accepted";
+    } catch (const snap::SnapshotError& e) {
+      EXPECT_EQ(e.code(), snap::SnapErrc::kBadVersion);
+    }
+  }
+}
+
+TEST(SnapshotGolden, FormatFrozenUntilVersionBump) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+
+  accel::AcceleratedSystem mid(program, small_config());
+  mid.run_until(300);
+  std::stringstream snap_file;
+  snap::save_snapshot(snap_file, mid, program);
+  check_golden("golden.snap", snap_file.str());
+
+  accel::AcceleratedSystem done(program, small_config());
+  done.run();
+  std::stringstream warm_file;
+  snap::save_warm_start(warm_file, done, program);
+  check_golden("golden.warm", warm_file.str());
+}
+
+}  // namespace
+}  // namespace dim

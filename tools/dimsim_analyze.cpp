@@ -15,9 +15,16 @@
 // dcache / finalize / misspec — the components sum to each config's
 // contribution to array_cycles).
 //
+// Snapshot mode (--snapshot FILE): human-readable dump of a persistence
+// artifact written by the snap subsystem (docs/persistence.md) — full
+// snapshots and warm-start files get their header, statistics, cached
+// configurations (start PC, rows, ops) and predictor summary printed;
+// corrupt files are reported with the loader's precise failure class.
+//
 // Usage: dimsim-analyze (file.s | --workload NAME) [--config 1|2|3]
 //                       [--json] [--events FILE] [--hot-configs N]
 //                       [--scale N]
+//        dimsim-analyze --snapshot FILE
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,6 +41,9 @@
 #include "obs/event.hpp"
 #include "obs/profile.hpp"
 #include "rra/array_shape.hpp"
+#include "snap/io.hpp"
+#include "snap/snapshot.hpp"
+#include "snap/warmstart.hpp"
 #include "work/workload.hpp"
 
 namespace {
@@ -52,7 +62,101 @@ struct BlockPlan {
 
 constexpr const char* kUsage =
     "usage: dimsim-analyze (file.s | --workload NAME) [--config 1|2|3] "
-    "[--json] [--events FILE] [--hot-configs N] [--scale N]\n";
+    "[--json] [--events FILE] [--hot-configs N] [--scale N]\n"
+    "       dimsim-analyze --snapshot FILE\n";
+
+void print_rcache_entries(const std::vector<dim::snap::SnapshotRcacheEntry>& entries) {
+  std::printf("  %-12s %-12s %5s %5s %4s\n", "start", "end", "ops", "rows", "bbs");
+  for (const auto& e : entries) {
+    std::printf("  0x%08x   0x%08x   %5d %5d %4d\n", e.start_pc, e.end_pc, e.ops,
+                e.rows_used, e.num_bbs);
+  }
+}
+
+// Dumps one persistence artifact. The artifact kind is taken from the
+// header, so snapshots, warm-start files and result-store cells all work.
+int run_snapshot_dump(const std::string& path) {
+  dim::snap::ArtifactKind kind;
+  std::vector<uint8_t> payload;
+  try {
+    payload = dim::snap::read_artifact_file(path, &kind);
+  } catch (const dim::snap::SnapshotError& e) {
+    std::fprintf(stderr, "%s: rejected: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: dimsim persistence artifact\n", path.c_str());
+  std::printf("  format version %u, kind %s, payload %zu bytes, CRC-32 0x%08x\n\n",
+              dim::snap::kFormatVersion, dim::snap::artifact_kind_name(kind),
+              payload.size(), dim::snap::crc32(payload.data(), payload.size()));
+  try {
+    switch (kind) {
+      case dim::snap::ArtifactKind::kSnapshot: {
+        const dim::snap::SnapshotInfo info = dim::snap::inspect_snapshot(payload);
+        std::printf("program hash       0x%016llx\n",
+                    static_cast<unsigned long long>(info.program_hash));
+        std::printf("system fingerprint 0x%016llx\n\n",
+                    static_cast<unsigned long long>(info.system_fingerprint));
+        std::printf("cpu: pc 0x%08x, %s, %zu output bytes\n", info.cpu.pc,
+                    info.cpu.halted ? "halted" : "running", info.cpu.output.size());
+        std::printf("memory: %zu pages (%zu KiB)\n", info.memory_pages,
+                    info.memory_pages * 64);
+        std::printf("run so far: %llu instructions, %llu cycles "
+                    "(%llu processor + %llu array), %llu activations\n",
+                    static_cast<unsigned long long>(info.stats.instructions),
+                    static_cast<unsigned long long>(info.stats.cycles),
+                    static_cast<unsigned long long>(info.stats.proc_cycles),
+                    static_cast<unsigned long long>(info.stats.array_cycles),
+                    static_cast<unsigned long long>(info.stats.array_activations));
+        std::printf("predictor: %zu branches tracked, %zu saturated\n",
+                    info.predictor_branches, info.predictor_saturated);
+        std::printf("translator: %llu observed, %llu captures, %llu inserted, "
+                    "%llu aborted, %llu extensions\n",
+                    static_cast<unsigned long long>(
+                        info.translator_stats.observed_instructions),
+                    static_cast<unsigned long long>(
+                        info.translator_stats.captures_started),
+                    static_cast<unsigned long long>(
+                        info.translator_stats.configs_inserted),
+                    static_cast<unsigned long long>(
+                        info.translator_stats.captures_aborted),
+                    static_cast<unsigned long long>(
+                        info.translator_stats.extensions_completed));
+        if (info.capture_in_flight) {
+          std::printf("in-flight capture at 0x%08x (%d ops placed)\n",
+                      info.capture_pc, info.capture_ops);
+        }
+        std::printf("\nreconfiguration cache: %zu entries (oldest first), "
+                    "%llu hits / %llu misses / %llu evictions\n",
+                    info.rcache_entries.size(),
+                    static_cast<unsigned long long>(info.rcache_counters.hits),
+                    static_cast<unsigned long long>(info.rcache_counters.misses),
+                    static_cast<unsigned long long>(info.rcache_counters.evictions));
+        print_rcache_entries(info.rcache_entries);
+        return 0;
+      }
+      case dim::snap::ArtifactKind::kWarmStart: {
+        const dim::snap::WarmStartInfo info = dim::snap::inspect_warm_start(payload);
+        std::printf("program hash            0x%016llx\n",
+                    static_cast<unsigned long long>(info.program_hash));
+        std::printf("translation fingerprint 0x%016llx\n\n",
+                    static_cast<unsigned long long>(info.translation_fingerprint));
+        std::printf("%zu translated configurations (preload order):\n",
+                    info.entries.size());
+        print_rcache_entries(info.entries);
+        return 0;
+      }
+      case dim::snap::ArtifactKind::kResultCell:
+        std::printf("memoized sweep cell (see snap::ResultStore); keyed by the "
+                    "filename, consumed by --result-store benches\n");
+        return 0;
+    }
+  } catch (const dim::snap::SnapshotError& e) {
+    std::fprintf(stderr, "%s: rejected: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: unknown artifact kind\n", path.c_str());
+  return 1;
+}
 
 // Runs the program with a recording sink attached, dumps the stream and/or
 // the per-configuration aggregation table.
@@ -110,6 +214,7 @@ int main(int argc, char** argv) {
   std::string input;
   std::string workload;
   std::string events_path;
+  std::string snapshot_path;
   int hot_configs = -1;  // -1 = not requested
   int config_id = 2;
   int scale = 1;
@@ -118,6 +223,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
       config_id = std::atoi(argv[++i]);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--workload" && i + 1 < argc) {
@@ -135,6 +242,7 @@ int main(int argc, char** argv) {
       input = arg;
     }
   }
+  if (!snapshot_path.empty()) return run_snapshot_dump(snapshot_path);
   if (input.empty() == workload.empty()) {  // exactly one source required
     std::fprintf(stderr, "%s", kUsage);
     return 2;
