@@ -1,5 +1,6 @@
 #include "accel/system.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/bitutil.hpp"
@@ -132,6 +133,60 @@ AccelStats AcceleratedSystem::run() {
   return run_until(std::numeric_limits<uint64_t>::max());
 }
 
+// Trace-dispatch env: reproduces the slow loop's per-retirement body —
+// counters, pipeline retire, translator observation (with the software-BT
+// cost charge) — and the loop-top rcache probe for trace-interior PCs.
+// Event stamps read stats_.instructions / pipeline cycles, so the update
+// order here must match the slow loop exactly.
+struct AcceleratedSystem::TraceEnv {
+  static constexpr bool kDispatchProbe = true;
+  AcceleratedSystem* sys;
+  AccelStats* stats;
+  rra::Configuration* hit = nullptr;  // set when pre_dispatch stops the trace
+
+  bool pre_dispatch(uint32_t pc) {
+    if (sys->config_.array_enabled && !sys->translator_->extending()) {
+      if (rra::Configuration* config = sys->rcache_->lookup(pc)) {
+        hit = config;  // the caller dispatches it; re-probing would double-count
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void retired(const sim::TraceOp& op, uint32_t next_pc, bool taken,
+               bool mem_access, uint32_t mem_addr) {
+    ++stats->instructions;
+    ++stats->proc_instructions;
+    sim::RetireRecord rec = op.rec;
+    rec.mem_access = mem_access;
+    rec.mem_addr = mem_addr;
+    rec.taken = taken;
+    sys->pipeline_.retire(rec);
+    if (mem_access) ++stats->proc_mem_accesses;
+
+    sim::StepInfo info;
+    info.instr = op.instr;
+    info.pc = op.pc;
+    info.next_pc = next_pc;
+    info.is_branch = isa::is_branch(op.instr.op);
+    info.taken = taken;
+    info.mem_access = mem_access;
+    info.mem_addr = mem_addr;
+    info.halted = false;  // halting ops never enter a trace
+    if (sys->config_.translation_cost_per_instr > 0) {
+      const uint64_t words_before = sys->rcache_->words_written();
+      sys->translator_->observe(info);
+      const uint64_t inserted = sys->rcache_->words_written() - words_before;
+      if (inserted > 0) {
+        sys->pipeline_.charge(inserted * sys->config_.translation_cost_per_instr);
+      }
+    } else {
+      sys->translator_->observe(info);
+    }
+  }
+};
+
 AccelStats AcceleratedSystem::run_until(uint64_t instruction_boundary) {
   AccelStats& stats = stats_;
   const uint64_t max_instructions = config_.machine.max_instructions;
@@ -145,6 +200,23 @@ AccelStats AcceleratedSystem::run_until(uint64_t instruction_boundary) {
         execute_on_array(config, stats);
         continue;
       }
+    }
+
+    // Superblock fast path: the probe above missed, so this PC retires on
+    // the core either way; a hot trace retires the whole straight-line run
+    // in one call, probing the rcache before every interior PC exactly as
+    // the loop top would. Skipped while an extension check is armed — that
+    // state is consumed by the slow path's next retirement.
+    if (config_.machine.host_trace_dispatch && !extension_candidate_) {
+      const uint64_t limit = std::min(max_instructions, instruction_boundary);
+      TraceEnv env{this, &stats};
+      const sim::TraceExecResult res =
+          trace_cache_.step_env(state_, memory_, limit - stats.instructions, env);
+      if (res.dispatch_stop && env.hit != nullptr) {
+        execute_on_array(env.hit, stats);
+        continue;
+      }
+      if (res.executed > 0) continue;
     }
 
     const bool was_extension_candidate = extension_candidate_;

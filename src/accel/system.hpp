@@ -108,9 +108,14 @@ class AcceleratedSystem : private obs::RunClock {
   bt::BimodalPredictor& predictor() { return predictor_; }
   sim::CpuState& state() { return state_; }
   mem::Memory& memory() { return memory_; }
+  const sim::TraceCache& trace_cache() const { return trace_cache_; }
 
  private:
   friend struct snap::SystemAccess;  // checkpoint save/restore
+
+  // Per-op hooks the superblock trace engine calls so a trace-dispatched
+  // stretch retires exactly like the slow loop (defined in system.cpp).
+  struct TraceEnv;
 
   void execute_on_array(rra::Configuration* config, AccelStats& stats);
 
@@ -124,6 +129,7 @@ class AcceleratedSystem : private obs::RunClock {
   sim::CpuState state_;
   sim::PipelineModel pipeline_;
   sim::DecodeCache decode_cache_;  // host-side fetch/decode memoization
+  sim::TraceCache trace_cache_;    // host-side superblock fast path
   bt::BimodalPredictor predictor_;
   std::unique_ptr<bt::ReconfigCache> rcache_;
   std::unique_ptr<bt::Translator> translator_;

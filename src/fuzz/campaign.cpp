@@ -1,5 +1,8 @@
 #include "fuzz/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "accel/stats_io.hpp"
@@ -144,6 +147,88 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       // Re-derive the report from the minimized program.
       const OracleResult after =
           check_program(failure.shrunk_program.render(), failing_point, options.oracle);
+      if (after.divergence.found) failure.divergence = after.divergence;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+CampaignResult run_dispatch_campaign(const CampaignOptions& options) {
+  const std::vector<MatrixPoint> matrix =
+      options.matrix.empty() ? full_matrix() : options.matrix;
+  const int seeds = options.seeds;
+
+  CampaignResult result;
+  result.seed_start = options.seed_start;
+  result.seeds_run = seeds;
+
+  std::vector<FuzzProgram> sources(static_cast<size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    sources[static_cast<size_t>(s)] =
+        generate_program(options.seed_start + static_cast<uint64_t>(s), options.gen);
+  }
+
+  // Each seed's verdict is independent and lands in its own slot, so the
+  // aggregation below sees identical input for any worker count.
+  std::vector<OracleResult> verdicts(static_cast<size_t>(seeds));
+  std::atomic<int> next{0};
+  unsigned threads =
+      options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min(threads, static_cast<unsigned>(std::max(seeds, 1))));
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int s; (s = next.fetch_add(1)) < seeds;) {
+          verdicts[static_cast<size_t>(s)] = check_dispatch_program(
+              sources[static_cast<size_t>(s)].render(), matrix, options.oracle);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  int shrinks_done = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const OracleResult& verdict = verdicts[static_cast<size_t>(s)];
+    if (verdict.inconclusive) {
+      ++result.inconclusive_seeds;
+      continue;
+    }
+    if (!verdict.divergence.found) continue;
+    ++result.divergent_seeds;
+    if (static_cast<int>(result.failures.size()) >= options.max_reported_failures) {
+      continue;
+    }
+
+    CampaignFailure failure;
+    failure.seed = options.seed_start + static_cast<uint64_t>(s);
+    failure.program = sources[static_cast<size_t>(s)];
+    failure.shrunk_program = failure.program;
+    failure.divergence = verdict.divergence;
+
+    if (options.shrink && shrinks_done < options.max_shrinks) {
+      // "machine" failures shrink against the machine comparison alone
+      // (empty matrix); point failures against the one diverging point.
+      std::vector<MatrixPoint> failing_point;
+      for (const MatrixPoint& m : matrix) {
+        if (m.label == verdict.divergence.point_label) failing_point.push_back(m);
+      }
+      const OracleOptions oracle = options.oracle;
+      const FailurePredicate still_fails = [&](const FuzzProgram& candidate) {
+        const OracleResult r =
+            check_dispatch_program(candidate.render(), failing_point, oracle);
+        return r.divergence.found;
+      };
+      ShrinkResult shrunk = shrink(failure.program, still_fails);
+      failure.shrunk = true;
+      failure.shrunk_program = std::move(shrunk.program);
+      failure.shrink_stats = shrunk.stats;
+      ++shrinks_done;
+      const OracleResult after = check_dispatch_program(
+          failure.shrunk_program.render(), failing_point, options.oracle);
       if (after.divergence.found) failure.divergence = after.divergence;
     }
     result.failures.push_back(std::move(failure));

@@ -54,6 +54,16 @@ struct CampaignResult {
 
 CampaignResult run_campaign(const CampaignOptions& options);
 
+// Fast-vs-slow dispatch campaign: every seed's program goes through
+// check_dispatch_program (host_trace_dispatch on vs off must be
+// bit-identical on the Machine and at every matrix point — state, memory,
+// stats, events, cycles). This is the merge gate for changes to the
+// superblock trace engine. Seeds are fanned out over a worker pool; the
+// result (and its JSON) is a pure function of the options, independent of
+// the thread count. Shrinking minimizes against the diverging matrix
+// point (or the machine-level comparison alone when that is what failed).
+CampaignResult run_dispatch_campaign(const CampaignOptions& options);
+
 // One JSON document; deterministic for a fixed CampaignResult (and the
 // result is thread-count-invariant, so so is the document).
 void write_campaign_json(std::ostream& out, const CampaignResult& result);

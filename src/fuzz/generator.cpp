@@ -95,6 +95,10 @@ class Gen {
     instr("sll $s5, $s5, 1");
     instr("jr $ra", /*removable=*/false);
     labeled(entry);
+    // Code-page base for the self-aliasing pieces ($t9 is otherwise unused).
+    if (options_.code_page_stores || options_.smc_patch_stores) {
+      instr("la $t9, main", /*removable=*/false);
+    }
     instr("li $s7, " + std::to_string(rng_.range(12, 40)));
     labeled("body");
   }
@@ -112,7 +116,12 @@ class Gen {
   }
 
   void emit_piece(int depth) {
-    switch (rng_.range(0, 7)) {
+    // The grammar only grows when a code-store mode is on, so default
+    // options draw the exact statement stream they always have (a seed
+    // identifies a program forever).
+    const int kinds = (options_.code_page_stores || options_.smc_patch_stores) ? 8 : 7;
+    switch (rng_.range(0, kinds)) {
+      case 8: emit_code_store(); break;
       case 0: emit_alu_block(); break;
       case 1: emit_mult_block(); break;
       case 2: emit_div_block(); break;
@@ -271,6 +280,34 @@ class Gen {
   }
 
   void emit_leaf_call() { instr("jal leaf"); }
+
+  // Stores into the program's own code pages (see GenOptions). The
+  // same-word rewrite loads an instruction word and stores it back
+  // unchanged; the patch variant copies a donor instruction word over a
+  // patch site, so the site's semantics actually change the first time
+  // around (and keep being stored every outer iteration after that).
+  void emit_code_store() {
+    if (options_.smc_patch_stores && rng_.chance(50)) {
+      const std::string site = label("patch");
+      const std::string donor = label("donor");
+      const std::string t = treg();
+      instr("la $at, " + donor);
+      instr("lw " + t + ", 0($at)");
+      instr("la $at, " + site);
+      instr("sw " + t + ", 0($at)");
+      const std::string victim = treg();
+      labeled(site);
+      instr("addiu " + victim + ", " + victim + ", 1");
+      labeled(donor);
+      // The donor also executes in line; it is just as harmless as the
+      // word it replaces.
+      instr("addiu " + victim + ", " + victim + ", 3");
+    } else {
+      const int off = rng_.range(0, 63) * 4;
+      instr("lw $at, " + std::to_string(off) + "($t9)");
+      instr("sw $at, " + std::to_string(off) + "($t9)");
+    }
+  }
 
   Rng& rng_;
   const GenOptions& options_;

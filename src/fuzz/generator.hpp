@@ -75,6 +75,17 @@ struct GenOptions {
   int max_pieces = 7;
   int max_loop_depth = 2;    // counted loops nested inside the outer loop
   int buffer_bytes = 512;    // shared scratch buffer (aliasing playground)
+  // Aliasing into the CODE pages. code_page_stores emits stores that
+  // rewrite an instruction word with its own value — architecturally a
+  // no-op, so it is safe for the accel-vs-baseline transparency oracle,
+  // but it forces the host trace/decode caches through their
+  // store-into-code and revalidation paths. smc_patch_stores goes further
+  // and patches a site with a DIFFERENT donor instruction word; that is
+  // real self-modifying code, which stale rcache configurations do not
+  // revalidate against, so it is only legal in fast-vs-slow dispatch
+  // campaigns (both sides share the rcache behavior, whatever it is).
+  bool code_page_stores = false;
+  bool smc_patch_stores = false;
 };
 
 // Deterministic: generate_program(s, o) is the same program forever.

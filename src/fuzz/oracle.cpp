@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <sstream>
 
+#include "accel/stats_io.hpp"
 #include "asm/assembler.hpp"
 #include "sim/machine.hpp"
 
@@ -93,8 +95,213 @@ const char* divergence_field_name(DivergenceField field) {
     case DivergenceField::kHiLo: return "hi_lo";
     case DivergenceField::kMemory: return "memory";
     case DivergenceField::kRetiredCount: return "retired_count";
+    case DivergenceField::kCycles: return "cycles";
+    case DivergenceField::kStats: return "stats";
+    case DivergenceField::kEvents: return "events";
   }
   return "unknown";
+}
+
+namespace {
+
+// Architectural diff shared by the two dispatch comparisons ("slow" = no
+// trace dispatch, "fast" = trace dispatch). Fills field/detail on the
+// first mismatch; leaves kNone when the states agree.
+void diff_cpu_state(const sim::CpuState& slow, const sim::CpuState& fast,
+                    Divergence& d) {
+  if (slow.halted != fast.halted) {
+    d.field = DivergenceField::kTermination;
+    d.detail = std::string("halted: slow ") + (slow.halted ? "true" : "false") +
+               " vs fast " + (fast.halted ? "true" : "false");
+    return;
+  }
+  if (slow.output != fast.output) {
+    d.field = DivergenceField::kOutput;
+    d.detail = "program output differs: slow \"" + slow.output + "\" vs fast \"" +
+               fast.output + "\"";
+    return;
+  }
+  for (size_t r = 0; r < slow.regs.size(); ++r) {
+    if (slow.regs[r] != fast.regs[r]) {
+      d.field = DivergenceField::kRegister;
+      d.detail = "register $" + std::to_string(r) + ": slow " + hex32(slow.regs[r]) +
+                 " vs fast " + hex32(fast.regs[r]);
+      return;
+    }
+  }
+  if (slow.pc != fast.pc) {
+    d.field = DivergenceField::kRegister;
+    d.detail = "pc: slow " + hex32(slow.pc) + " vs fast " + hex32(fast.pc);
+    return;
+  }
+  if (slow.hi != fast.hi || slow.lo != fast.lo) {
+    d.field = DivergenceField::kHiLo;
+    d.detail = "hi/lo: slow " + hex32(slow.hi) + "/" + hex32(slow.lo) + " vs fast " +
+               hex32(fast.hi) + "/" + hex32(fast.lo);
+  }
+}
+
+void diff_memory(const mem::Memory& slow, const mem::Memory& fast, Divergence& d) {
+  const auto addr = slow.first_difference(fast);
+  if (addr.has_value()) {
+    d.field = DivergenceField::kMemory;
+    d.detail = "memory byte at " + hex32(*addr) + ": slow " + hex32(slow.read8(*addr)) +
+               " vs fast " + hex32(fast.read8(*addr));
+  }
+}
+
+// First differing line of two multi-line strings, for kStats details.
+std::string first_line_diff(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return "(identical?)";
+    if (!ga || !gb || la != lb) {
+      return "slow `" + (ga ? la : std::string("<eof>")) + "` vs fast `" +
+             (gb ? lb : std::string("<eof>")) + "`";
+    }
+  }
+}
+
+}  // namespace
+
+OracleResult check_dispatch_program(const std::string& source,
+                                    const std::vector<MatrixPoint>& matrix,
+                                    const OracleOptions& options) {
+  OracleResult result;
+
+  asmblr::Program program;
+  try {
+    program = asmblr::assemble(source);
+  } catch (const std::exception& e) {
+    result.inconclusive = true;
+    result.inconclusive_reason = std::string("assembly failed: ") + e.what();
+    return result;
+  }
+
+  // Level 1: the plain Machine, slow vs fast. Both sides share the limit
+  // and must cut at the same instruction, so hitting it is comparable.
+  sim::MachineConfig slow_cfg;
+  slow_cfg.max_instructions = options.max_instructions;
+  slow_cfg.host_trace_dispatch = false;
+  sim::MachineConfig fast_cfg = slow_cfg;
+  fast_cfg.host_trace_dispatch = true;
+
+  sim::Machine slow_machine(program, slow_cfg);
+  sim::Machine fast_machine(program, fast_cfg);
+  const sim::RunResult rs = slow_machine.run();
+  const sim::RunResult rf = fast_machine.run();
+
+  {
+    Divergence d;
+    d.point_label = "machine";
+    diff_cpu_state(rs.state, rf.state, d);
+    if (d.field == DivergenceField::kNone) {
+      diff_memory(slow_machine.memory(), fast_machine.memory(), d);
+    }
+    if (d.field == DivergenceField::kNone && rs.instructions != rf.instructions) {
+      d.field = DivergenceField::kRetiredCount;
+      d.detail = "retired instructions: slow " + u64(rs.instructions) + " vs fast " +
+                 u64(rf.instructions);
+    }
+    if (d.field == DivergenceField::kNone &&
+        (rs.cycles != rf.cycles || rs.icache_misses != rf.icache_misses ||
+         rs.dcache_misses != rf.dcache_misses)) {
+      d.field = DivergenceField::kCycles;
+      d.detail = "cycles/ic-misses/dc-misses: slow " + u64(rs.cycles) + "/" +
+                 u64(rs.icache_misses) + "/" + u64(rs.dcache_misses) + " vs fast " +
+                 u64(rf.cycles) + "/" + u64(rf.icache_misses) + "/" +
+                 u64(rf.dcache_misses);
+    }
+    if (d.field == DivergenceField::kNone && rs.mem_accesses != rf.mem_accesses) {
+      d.field = DivergenceField::kStats;
+      d.detail = "memory accesses: slow " + u64(rs.mem_accesses) + " vs fast " +
+                 u64(rf.mem_accesses);
+    }
+    if (d.field != DivergenceField::kNone) {
+      d.found = true;
+      result.divergence = std::move(d);
+      return result;
+    }
+  }
+
+  // Level 2: the accelerated system at every matrix point, slow vs fast —
+  // stats counters via the (schema-complete) JSON form and the stamped
+  // event stream, on top of the architectural diff.
+  for (const MatrixPoint& point : matrix) {
+    obs::RecordingSink slow_sink;
+    obs::RecordingSink fast_sink;
+    accel::SystemConfig slow_sys_cfg = point.config;
+    slow_sys_cfg.machine = slow_cfg;
+    slow_sys_cfg.event_sink = &slow_sink;
+    slow_sys_cfg.fault_injection = options.fault;
+    accel::SystemConfig fast_sys_cfg = slow_sys_cfg;
+    fast_sys_cfg.machine = fast_cfg;
+    fast_sys_cfg.event_sink = &fast_sink;
+
+    accel::AcceleratedSystem slow_sys(program, slow_sys_cfg);
+    accel::AcceleratedSystem fast_sys(program, fast_sys_cfg);
+    const accel::AccelStats as = slow_sys.run();
+    const accel::AccelStats af = fast_sys.run();
+
+    Divergence d;
+    d.point_label = point.label;
+    diff_cpu_state(as.final_state, af.final_state, d);
+    if (d.field == DivergenceField::kNone) {
+      diff_memory(slow_sys.memory(), fast_sys.memory(), d);
+    }
+    if (d.field == DivergenceField::kNone && as.instructions != af.instructions) {
+      d.field = DivergenceField::kRetiredCount;
+      d.detail = "retired instructions: slow " + u64(as.instructions) + " vs fast " +
+                 u64(af.instructions);
+    }
+    if (d.field == DivergenceField::kNone && as.cycles != af.cycles) {
+      d.field = DivergenceField::kCycles;
+      d.detail = "cycles: slow " + u64(as.cycles) + " vs fast " + u64(af.cycles);
+    }
+    if (d.field == DivergenceField::kNone) {
+      std::ostringstream js;
+      std::ostringstream jf;
+      accel::write_json(js, as, "cmp");
+      accel::write_json(jf, af, "cmp");
+      if (js.str() != jf.str()) {
+        d.field = DivergenceField::kStats;
+        d.detail = "stats: " + first_line_diff(js.str(), jf.str());
+      }
+    }
+    if (d.field == DivergenceField::kNone) {
+      const std::vector<obs::Event>& es = slow_sink.events();
+      const std::vector<obs::Event>& ef = fast_sink.events();
+      if (es.size() != ef.size()) {
+        d.field = DivergenceField::kEvents;
+        d.detail = "event count: slow " + u64(es.size()) + " vs fast " +
+                   u64(ef.size());
+      } else {
+        for (size_t k = 0; k < es.size(); ++k) {
+          if (obs::format_event(es[k]) != obs::format_event(ef[k])) {
+            d.field = DivergenceField::kEvents;
+            d.detail = "event " + u64(k) + ": slow `" + obs::format_event(es[k]) +
+                       "` vs fast `" + obs::format_event(ef[k]) + "`";
+            break;
+          }
+        }
+      }
+    }
+
+    if (d.field != DivergenceField::kNone) {
+      d.found = true;
+      const std::vector<obs::Event>& events = fast_sink.events();
+      const size_t keep = std::min(options.event_context, events.size());
+      d.recent_events.assign(events.end() - static_cast<ptrdiff_t>(keep), events.end());
+      result.divergence = std::move(d);
+      return result;
+    }
+  }
+  return result;
 }
 
 OracleResult check_program(const std::string& source,

@@ -41,6 +41,12 @@ enum class DivergenceField : uint8_t {
   kHiLo,
   kMemory,        // memory images differ (detail has the first address)
   kRetiredCount,  // committed instruction counts differ
+  // Dispatch-comparison fields (check_dispatch_program): the fast path
+  // must match the slow path beyond architecture — cycle accounting,
+  // every stats counter, and the stamped event stream.
+  kCycles,
+  kStats,
+  kEvents,
 };
 
 const char* divergence_field_name(DivergenceField field);
@@ -73,5 +79,19 @@ struct OracleResult {
 OracleResult check_program(const std::string& source,
                            const std::vector<MatrixPoint>& matrix,
                            const OracleOptions& options = {});
+
+// Differential gate for the superblock trace dispatch (sim/trace_cache.hpp):
+// runs `source` with host_trace_dispatch on and off and requires the two
+// runs to be BIT-IDENTICAL — first on the plain Machine (registers, HI/LO,
+// output, memory bytes, retired count, cycles, memory-access count), then
+// on the accelerated system at every matrix point (final state, memory,
+// the full stats JSON, and the stamped obs event stream). Unlike
+// check_program, hitting the instruction limit is not inconclusive: both
+// sides must stop at the same instruction in the same state, so limited
+// runs are compared like any other. The divergence's point_label is
+// "machine" for the baseline comparison, the matrix label otherwise.
+OracleResult check_dispatch_program(const std::string& source,
+                                    const std::vector<MatrixPoint>& matrix,
+                                    const OracleOptions& options = {});
 
 }  // namespace dim::fuzz

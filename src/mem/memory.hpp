@@ -55,6 +55,22 @@ class Memory {
   void restore_pages(
       const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& pages);
 
+  // Host-fast-path access for the superblock trace engine: the raw bytes
+  // of the page containing `addr`, or nullptr when that page was never
+  // allocated (absent pages read as zero; neither accessor allocates).
+  // The pointer stays valid until restore_pages() replaces the image —
+  // page buffers are heap-stable across map rehashes and are never freed
+  // individually. Callers caching it must drop it on restore (the trace
+  // cache's clear() hook).
+  const uint8_t* page_data(uint32_t addr) const {
+    const Page* p = find_page(addr);
+    return p ? p->data() : nullptr;
+  }
+  uint8_t* page_data_mut(uint32_t addr) {
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.data();
+  }
+
  private:
   using Page = std::vector<uint8_t>;
 

@@ -34,6 +34,15 @@ class DecodeCache {
     return e.instr;
   }
 
+  // Drops every cached decode. Must be called when the backing image is
+  // replaced wholesale (Machine::reset, snapshot restore): the per-fetch
+  // word revalidation makes stale entries architecturally invisible, but
+  // an explicit clear keeps the lifecycle contract greppable and is what
+  // the superblock trace cache (whose entries are multi-word) relies on.
+  void clear() {
+    for (Entry& e : entries_) e = Entry{};
+  }
+
  private:
   // PCs are word-aligned, so pc = 1 can never match a real fetch.
   struct Entry {

@@ -10,9 +10,32 @@ Machine::Machine(const asmblr::Program& program, const MachineConfig& config)
   state_.regs[28] = config_.initial_gp;  // $gp
 }
 
+void Machine::reset(const asmblr::Program& program) {
+  memory_ = mem::Memory{};
+  program.load_into(memory_);
+  state_ = CpuState{};
+  state_.pc = program.entry;
+  state_.regs[29] = config_.initial_sp;
+  state_.regs[28] = config_.initial_gp;
+  pipeline_.reset();
+  decode_cache_.clear();
+  trace_cache_.clear();
+}
+
 RunResult Machine::run(const std::function<void(const StepInfo&)>& observer) {
   RunResult result;
+  // Observers need every StepInfo, so observed runs take the slow path.
+  const bool fast = config_.host_trace_dispatch && !observer;
   while (!state_.halted && result.instructions < config_.max_instructions) {
+    if (fast) {
+      const uint64_t executed = trace_cache_.step_baseline(
+          state_, memory_, pipeline_, config_.max_instructions - result.instructions,
+          &result.mem_accesses);
+      if (executed > 0) {
+        result.instructions += executed;
+        continue;
+      }
+    }
     const StepInfo info = step(state_, memory_, &decode_cache_);
     ++result.instructions;
     pipeline_.retire(info);

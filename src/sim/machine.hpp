@@ -12,6 +12,7 @@
 #include "sim/cpu_state.hpp"
 #include "sim/executor.hpp"
 #include "sim/pipeline.hpp"
+#include "sim/trace_cache.hpp"
 
 namespace dim::sim {
 
@@ -31,6 +32,12 @@ struct MachineConfig {
   uint64_t max_instructions = 200'000'000;
   uint32_t initial_sp = 0x7FFF0000;
   uint32_t initial_gp = 0x10008000;
+  // Superblock trace-threaded dispatch (sim/trace_cache.hpp): the host
+  // fast path for unobserved runs. Bit-identical to the slow path by
+  // contract (fuzzed by dimsim-fuzz --cmp-dispatch); on by default so
+  // every golden/regression run exercises it. Observed runs (profiler)
+  // always take the per-instruction path: observers need every StepInfo.
+  bool host_trace_dispatch = true;
 };
 
 class Machine {
@@ -41,8 +48,16 @@ class Machine {
   // retired instruction — used by the profiler.
   RunResult run(const std::function<void(const StepInfo&)>& observer = nullptr);
 
+  // Replaces the loaded image with `program` and rewinds every piece of
+  // run state: memory, CPU state, pipeline latches/cycles, and both
+  // host-side caches (decoded words and superblock traces must not
+  // survive an image swap — see their clear() contracts).
+  void reset(const asmblr::Program& program);
+
   mem::Memory& memory() { return memory_; }
   CpuState& state() { return state_; }
+  const TraceCache& trace_cache() const { return trace_cache_; }
+  DecodeCache& decode_cache() { return decode_cache_; }
 
  private:
   MachineConfig config_;
@@ -50,6 +65,7 @@ class Machine {
   CpuState state_;
   PipelineModel pipeline_;
   DecodeCache decode_cache_;
+  TraceCache trace_cache_;
 };
 
 // Convenience: assemble-load-run in one call.

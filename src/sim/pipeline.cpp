@@ -6,33 +6,47 @@ namespace dim::sim {
 
 using isa::Op;
 
+RetireRecord RetireRecord::classify(const isa::Instr& i) {
+  RetireRecord r;
+  r.dest = static_cast<int8_t>(isa::dest_reg(i));
+  int srcs[2];
+  r.nsrc = static_cast<uint8_t>(isa::src_regs(i, srcs));
+  if (r.nsrc > 0) r.src0 = static_cast<int8_t>(srcs[0]);
+  if (r.nsrc > 1) r.src1 = static_cast<int8_t>(srcs[1]);
+  r.is_load = isa::is_load(i.op);
+  r.is_mem_op = r.is_load || isa::is_store(i.op);
+  r.is_hilo_write = isa::is_mult_div(i.op);
+  r.is_div = i.op == Op::kDiv || i.op == Op::kDivu;
+  r.is_hilo_touch =
+      isa::is_hilo_read(i.op) || i.op == Op::kMthi || i.op == Op::kMtlo;
+  return r;
+}
+
 uint64_t PipelineModel::retire(const StepInfo& info) {
+  RetireRecord r = RetireRecord::classify(info.instr);
+  r.pc = info.pc;
+  r.mem_access = info.mem_access;
+  r.mem_addr = info.mem_addr;
+  r.taken = info.taken;
+  return retire(r);
+}
+
+uint64_t PipelineModel::retire(const RetireRecord& r) {
   const uint64_t before = cycles_;
-  const isa::Instr& i = info.instr;
-  const bool is_mem = isa::is_load(i.op) || isa::is_store(i.op);
-  const bool is_hilo = isa::is_mult_div(i.op);
 
   // Load-use interlock against the immediately preceding instruction.
-  bool load_use = false;
-  if (pending_load_reg_ > 0) {
-    int srcs[2];
-    const int n = isa::src_regs(i, srcs);
-    for (int k = 0; k < n; ++k) {
-      if (srcs[k] == pending_load_reg_) {
-        load_use = true;
-        break;
-      }
-    }
-  }
+  const bool load_use =
+      pending_load_reg_ > 0 && ((r.nsrc > 0 && r.src0 == pending_load_reg_) ||
+                                (r.nsrc > 1 && r.src1 == pending_load_reg_));
 
   // Dual-issue pairing: share the previous instruction's cycle when legal.
   bool paired = false;
   if (params_.issue_width >= 2 && slot_open_ && !load_use) {
-    int srcs[2];
-    const int n = isa::src_regs(i, srcs);
-    bool raw = false;
-    for (int k = 0; k < n; ++k) raw |= (slot_dest_ > 0 && srcs[k] == slot_dest_);
-    if (!raw && !(slot_mem_ && is_mem) && !(slot_hilo_ && is_hilo)) paired = true;
+    const bool raw = slot_dest_ > 0 && ((r.nsrc > 0 && r.src0 == slot_dest_) ||
+                                        (r.nsrc > 1 && r.src1 == slot_dest_));
+    if (!raw && !(slot_mem_ && r.is_mem_op) && !(slot_hilo_ && r.is_hilo_write)) {
+      paired = true;
+    }
   }
 
   if (paired) {
@@ -40,26 +54,25 @@ uint64_t PipelineModel::retire(const StepInfo& info) {
   } else {
     cycles_ += 1;  // new issue cycle
     slot_open_ = params_.issue_width >= 2;
-    slot_dest_ = isa::dest_reg(i);
-    slot_mem_ = is_mem;
-    slot_hilo_ = is_hilo;
+    slot_dest_ = r.dest;
+    slot_mem_ = r.is_mem_op;
+    slot_hilo_ = r.is_hilo_write;
   }
 
-  cycles_ += icache_.access(info.pc);
+  cycles_ += icache_.access(r.pc);
   if (load_use) cycles_ += params_.load_use_stall;
-  pending_load_reg_ = isa::is_load(i.op) ? isa::dest_reg(i) : -1;
+  pending_load_reg_ = r.is_load ? r.dest : -1;
 
-  if (info.mem_access) cycles_ += dcache_.access(info.mem_addr);
+  if (r.mem_access) cycles_ += dcache_.access(r.mem_addr);
 
-  if (isa::is_mult_div(i.op)) {
-    const uint32_t latency =
-        (i.op == Op::kDiv || i.op == Op::kDivu) ? params_.div_latency : params_.mult_latency;
+  if (r.is_hilo_write) {
+    const uint32_t latency = r.is_div ? params_.div_latency : params_.mult_latency;
     hilo_ready_ = cycles_ + latency;
-  } else if (isa::is_hilo_read(i.op) || i.op == Op::kMthi || i.op == Op::kMtlo) {
+  } else if (r.is_hilo_touch) {
     if (cycles_ < hilo_ready_) cycles_ = hilo_ready_;
   }
 
-  if (info.taken) {
+  if (r.taken) {
     cycles_ += params_.taken_branch_penalty;
     slot_open_ = false;  // redirect: nothing pairs across a taken transfer
   }

@@ -32,6 +32,31 @@ struct TimingParams {
   mem::CacheParams dcache;
 };
 
+// Pre-classified retirement record: everything the timing model needs to
+// know about one instruction, with the ISA-level classification already
+// done. retire(StepInfo) builds one of these per call; the superblock
+// trace engine (sim/trace_cache.hpp) precomputes the static fields once at
+// trace-formation time and only fills in the dynamic ones (mem_addr,
+// taken) per execution. Both paths charge cycles through the same
+// retire(RetireRecord) implementation, so they cannot drift apart.
+struct RetireRecord {
+  int8_t dest = -1;           // isa::dest_reg ($0 reported as -1)
+  int8_t src0 = 0, src1 = 0;  // isa::src_regs
+  uint8_t nsrc = 0;
+  bool is_load = false;
+  bool is_mem_op = false;      // load or store (dual-issue slot class)
+  bool is_hilo_write = false;  // mult/multu/div/divu
+  bool is_div = false;         // div/divu (longer HI/LO latency)
+  bool is_hilo_touch = false;  // mfhi/mflo/mthi/mtlo (stall until ready)
+  uint32_t pc = 0;
+  bool mem_access = false;  // dynamic: this retirement accessed memory
+  uint32_t mem_addr = 0;    // dynamic
+  bool taken = false;       // dynamic: taken branch / any jump
+
+  // Static classification of `i` (dynamic fields left defaulted).
+  static RetireRecord classify(const isa::Instr& i);
+};
+
 // Mutable state of a PipelineModel, exported for checkpointing: the cycle
 // counter, every inter-instruction hazard latch, and both cache models.
 // Everything a resumed run needs to charge the next instruction exactly as
@@ -55,6 +80,37 @@ class PipelineModel {
 
   // Accounts one retired instruction; returns the cycles it consumed.
   uint64_t retire(const StepInfo& info);
+
+  // Same accounting from a pre-classified record (see RetireRecord). This
+  // is the only implementation; retire(StepInfo) delegates to it.
+  uint64_t retire(const RetireRecord& r);
+
+  // --- Superblock trace support (sim/trace_cache.hpp) -----------------
+  // True when per-trace folded timing reproduces retire() exactly: single
+  // issue (no pairing state) and both cache models disabled (no dynamic
+  // miss stalls, no hit/miss counters to maintain). HI/LO hazards are
+  // excluded per trace, not here.
+  bool fold_eligible() const {
+    return params_.issue_width < 2 && !icache_.params().enabled &&
+           !dcache_.params().enabled;
+  }
+  int pending_load_reg() const { return pending_load_reg_; }
+  uint32_t load_use_stall_cycles() const { return params_.load_use_stall; }
+  uint32_t taken_branch_penalty() const { return params_.taken_branch_penalty; }
+
+  // Commits a folded trace: `cycles` precomputed issue+stall cycles, and
+  // the exit values of every hazard latch retire() would have left behind
+  // (slot_* from the last retired instruction; slot_open is false at
+  // issue_width 1, the only width folding is eligible for).
+  void fold_commit(uint64_t cycles, int exit_pending_load_reg, int slot_dest,
+                   bool slot_mem, bool slot_hilo) {
+    cycles_ += cycles;
+    pending_load_reg_ = exit_pending_load_reg;
+    slot_open_ = false;
+    slot_dest_ = slot_dest;
+    slot_mem_ = slot_mem;
+    slot_hilo_ = slot_hilo;
+  }
 
   // Accounts a fetch redirect caused by the reconfigurable array updating
   // the PC past a translated region (charged like a taken branch would be

@@ -1,0 +1,695 @@
+// Superblock trace cache: the host-side fast path of the simulator.
+//
+// The paper's bet is that caching translated units of straight-line work
+// beats re-interpreting instruction by instruction; this applies the same
+// trick to the simulator itself. Straight-line runs of pre-decoded
+// instructions between control transfers are recorded once and then
+// executed as whole traces via threaded dispatch (computed goto where the
+// compiler supports it, a jump-table switch behind -DDIMSIM_PORTABLE_DISPATCH
+// otherwise), with the pipeline timing model folded into per-trace
+// precomputed cycle prefixes whenever the pipeline state permits.
+//
+// Transparency contract (pinned by tests/test_trace_cache.cpp and the
+// dimsim-fuzz --cmp-dispatch campaign): a run with the trace cache enabled
+// is bit-identical to the per-instruction slow path — registers, memory,
+// output, retired counts, cycle accounting, stats and obs event streams.
+//
+// Formation rules:
+//   - a trace starts at a PC once it has been seen twice as a trace head
+//     (direct-mapped head table, so cold straight-line code is never traced)
+//   - body ops are the straight-line subset of the ISA (ALU, shifts,
+//     immediates, HI/LO arithmetic and moves, loads/stores)
+//   - the first control transfer (conditional branch, j/jal/jr/jalr)
+//     terminates the trace and is executed as its terminal op
+//   - syscall/break/invalid words stop formation *before* them: the slow
+//     path retires those
+//   - formation stops at 0xFFFFFFFC: the fall-through there wraps the PC
+//     to 0, breaking the pc+4 straight-line contract (the slow path
+//     handles address-space wraparound; see test_executor)
+//   - traces shorter than 3 instructions are rejected (dispatch overhead
+//     would exceed the win); rejected heads are remembered
+//
+// Invalidation:
+//   - every execution revalidates the trace's words against memory
+//     (page-pointer memcmp, one page lookup per page spanned), so the
+//     cache is exact under self-modifying code just like DecodeCache
+//   - a store *into the executing trace's own code range* finishes that
+//     store, then bails to the slow path (the interpreter would fetch the
+//     freshly written word; the trace must not keep running stale ops)
+//   - clear() drops everything: Machine::reset and snapshot restore call
+//     it so no host-side decoded state survives an image replacement
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "mem/memory.hpp"
+#include "sim/cpu_state.hpp"
+#include "sim/executor.hpp"
+#include "sim/pipeline.hpp"
+
+namespace dim::sim {
+
+// Host-level semantic kind of one trace op. Body kinds are straight-line;
+// kinds >= kTBr are terminals (always the last op of their trace).
+enum class TKind : uint8_t {
+  // ALU, three-register
+  kTAddu, kTSubu, kTAnd, kTOr, kTXor, kTNor, kTSlt, kTSltu,
+  // shifts
+  kTSllK, kTSrlK, kTSraK, kTSllv, kTSrlv, kTSrav,
+  // immediates
+  kTAddiu, kTSlti, kTSltiu, kTAndi, kTOri, kTXori, kTLui,
+  // HI/LO
+  kTMult, kTMultu, kTDiv, kTDivu, kTMfhi, kTMflo, kTMthi, kTMtlo,
+  // memory
+  kTLb, kTLbu, kTLh, kTLhu, kTLw, kTSb, kTSh, kTSw,
+  // terminals
+  kTBr, kTBrLink, kTJ, kTJal, kTJr, kTJalr,
+};
+
+inline bool tkind_is_terminal(TKind k) { return k >= TKind::kTBr; }
+
+// One pre-decoded trace op: operand indexes and immediates are extracted
+// once at formation time, and the timing model's classification
+// (RetireRecord) is precomputed so per-op timing costs one call with no
+// re-classification.
+struct TraceOp {
+  TKind kind = TKind::kTAddu;
+  uint8_t a = 0;   // rs-class operand (base register, shift amount source)
+  uint8_t b = 0;   // rt-class operand (value register)
+  uint8_t d = 0;   // destination register; 0 = architectural no-write
+  int32_t imm = 0;  // sign-/zero-extended immediate, shamt, lui value,
+                    // or precomputed branch/jump target (terminals)
+  uint32_t pc = 0;
+  int8_t pending_after = -1;  // pipeline pending_load_reg after this op
+  isa::Instr instr{};         // exact decoded form (StepInfo reconstruction)
+  RetireRecord rec{};         // static timing classification (pc preset)
+};
+
+struct Trace {
+  uint32_t start_pc = 1;  // word-aligned; 1 = unused slot
+  uint64_t end64 = 0;     // start_pc + 4 * words (64-bit: no wrap ambiguity)
+  std::vector<TraceOp> ops;
+  std::vector<uint32_t> words;  // fetched encodings, for revalidation
+  // Folded timing (valid when `foldable` and PipelineModel::fold_eligible):
+  // stall_prefix[k] = number of internal load-use stalls among the first k
+  // ops, assuming no pending load at entry (corrected dynamically from op
+  // 0's sources). Folded cycles for k ops = k + stall_prefix[k] * stall +
+  // entry correction + dynamic taken penalty — counts, not cycles, so the
+  // trace is independent of the TimingParams stall values.
+  std::vector<uint8_t> stall_prefix;
+  bool foldable = false;  // no HI/LO writers or readers in the trace
+};
+
+struct TraceStats {
+  uint64_t traces_built = 0;
+  uint64_t executions = 0;      // trace entries that retired >= 1 op
+  uint64_t ops_executed = 0;
+  uint64_t folded_executions = 0;  // entries that used precomputed timing
+  uint64_t revalidation_rebuilds = 0;  // stale words at entry -> rebuilt
+  uint64_t smc_bails = 0;       // store into the live trace's code range
+  uint64_t rejected_heads = 0;  // head built but below the minimum length
+  uint64_t dispatch_stops = 0;  // accel: rcache hit at a trace-interior PC
+};
+
+struct TraceExecResult {
+  uint64_t executed = 0;         // instructions retired by this entry
+  bool dispatch_stop = false;    // env asked to stop before an interior op
+  bool terminal_executed = false;
+  bool terminal_taken = false;
+};
+
+// 1-entry host TLB over mem::Memory pages for trace-interior loads/stores:
+// one hash lookup per page *change* instead of per access. Pointers are
+// stable until restore_pages (see mem::Memory::page_data); TraceCache::clear
+// resets it. Null pages are not cached so a later allocating store is seen.
+struct DataTlb {
+  uint32_t key = 0xFFFFFFFFu;  // page index (addr >> kPageBits), sentinel
+  uint8_t* data = nullptr;
+};
+
+namespace trace_detail {
+
+inline uint8_t* tlb_page(DataTlb& tlb, mem::Memory& mem, uint32_t addr) {
+  const uint32_t key = addr >> mem::Memory::kPageBits;
+  if (tlb.key == key) return tlb.data;
+  uint8_t* p = mem.page_data_mut(addr);
+  if (p != nullptr) {
+    tlb.key = key;
+    tlb.data = p;
+  }
+  return p;
+}
+
+constexpr uint32_t kOffMask = mem::Memory::kPageSize - 1;
+
+inline uint32_t t_read8(DataTlb& tlb, mem::Memory& mem, uint32_t addr) {
+  if (uint8_t* p = tlb_page(tlb, mem, addr)) return p[addr & kOffMask];
+  return mem.read8(addr);
+}
+
+inline uint32_t t_read16(DataTlb& tlb, mem::Memory& mem, uint32_t addr) {
+  const uint32_t off = addr & kOffMask;
+  if (off <= mem::Memory::kPageSize - 2) {
+    if (uint8_t* p = tlb_page(tlb, mem, addr)) {
+      return static_cast<uint32_t>(p[off]) | (static_cast<uint32_t>(p[off + 1]) << 8);
+    }
+  }
+  return mem.read16(addr);
+}
+
+inline uint32_t t_read32(DataTlb& tlb, mem::Memory& mem, uint32_t addr) {
+  const uint32_t off = addr & kOffMask;
+  if (off <= mem::Memory::kPageSize - 4) {
+    if (uint8_t* p = tlb_page(tlb, mem, addr)) {
+      return static_cast<uint32_t>(p[off]) | (static_cast<uint32_t>(p[off + 1]) << 8) |
+             (static_cast<uint32_t>(p[off + 2]) << 16) |
+             (static_cast<uint32_t>(p[off + 3]) << 24);
+    }
+  }
+  return mem.read32(addr);
+}
+
+inline void t_write8(DataTlb& tlb, mem::Memory& mem, uint32_t addr, uint8_t v) {
+  if (uint8_t* p = tlb_page(tlb, mem, addr)) {
+    p[addr & kOffMask] = v;
+    return;
+  }
+  mem.write8(addr, v);  // allocates; the next tlb_page re-resolves
+}
+
+inline void t_write16(DataTlb& tlb, mem::Memory& mem, uint32_t addr, uint16_t v) {
+  const uint32_t off = addr & kOffMask;
+  if (off <= mem::Memory::kPageSize - 2) {
+    if (uint8_t* p = tlb_page(tlb, mem, addr)) {
+      p[off] = static_cast<uint8_t>(v);
+      p[off + 1] = static_cast<uint8_t>(v >> 8);
+      return;
+    }
+  }
+  mem.write16(addr, v);
+}
+
+inline void t_write32(DataTlb& tlb, mem::Memory& mem, uint32_t addr, uint32_t v) {
+  const uint32_t off = addr & kOffMask;
+  if (off <= mem::Memory::kPageSize - 4) {
+    if (uint8_t* p = tlb_page(tlb, mem, addr)) {
+      p[off] = static_cast<uint8_t>(v);
+      p[off + 1] = static_cast<uint8_t>(v >> 8);
+      p[off + 2] = static_cast<uint8_t>(v >> 16);
+      p[off + 3] = static_cast<uint8_t>(v >> 24);
+      return;
+    }
+  }
+  mem.write32(addr, v);
+}
+
+}  // namespace trace_detail
+
+class TraceCache {
+ public:
+  TraceCache() : slots_(kSlots) {}
+
+  // Traces never hold pointers, but the data TLB does; a copied cache must
+  // not alias the source's Memory, so copies start with a cold TLB.
+  TraceCache(const TraceCache& o) : slots_(o.slots_), stats_(o.stats_) {}
+  TraceCache& operator=(const TraceCache& o) {
+    slots_ = o.slots_;
+    stats_ = o.stats_;
+    tlb_ = DataTlb{};
+    return *this;
+  }
+
+  // Baseline fast path (Machine::run): executes a trace at state.pc if one
+  // is hot and valid, charging cycles exactly as per-instruction retires
+  // would (folded when the pipeline state permits). Returns instructions
+  // retired (0 = no trace; caller takes the slow path) and adds this
+  // entry's memory accesses to *mem_accesses. Executes at most `budget`
+  // instructions (must be >= 1).
+  uint64_t step_baseline(CpuState& state, mem::Memory& memory, PipelineModel& pipeline,
+                         uint64_t budget, uint64_t* mem_accesses);
+
+  // Hooked fast path (AcceleratedSystem): Env supplies the per-op
+  // behavior the accelerated loop needs between DIM dispatches:
+  //   static constexpr bool kDispatchProbe;        // probe before interior ops
+  //   bool pre_dispatch(uint32_t pc);              // true = stop before pc
+  //   void retired(const TraceOp&, uint32_t next_pc, bool taken,
+  //                bool mem_access, uint32_t mem_addr);
+  // retired() owns timing/stats/observation, so ordering matches the slow
+  // loop exactly. pre_dispatch is NOT called for op 0 (the caller already
+  // probed that boundary).
+  template <class Env>
+  TraceExecResult step_env(CpuState& state, mem::Memory& memory, uint64_t budget,
+                           Env& env) {
+    Trace* t = hot_trace(state.pc, memory);
+    if (t == nullptr) return {};
+    return execute<Env>(*t, state, memory, budget, env);
+  }
+
+  // Drops every trace, head counter and cached page pointer. Must be
+  // called whenever the backing image is replaced (Machine::reset,
+  // snapshot restore) — revalidation would catch stale words, but head
+  // heat, rejection flags and the TLB are not word-checked.
+  void clear() {
+    for (Slot& s : slots_) s = Slot{};
+    tlb_ = DataTlb{};
+    stats_ = TraceStats{};
+  }
+
+  const TraceStats& stats() const { return stats_; }
+
+  // Formation/validation introspection for tests.
+  const Trace* peek(uint32_t pc) const {
+    const Slot& s = slots_[slot_index(pc)];
+    return (s.head == pc && !s.rejected) ? &s.trace : nullptr;
+  }
+
+  static constexpr size_t kMaxOps = 64;  // longest trace (<= 256 bytes of code)
+  static constexpr size_t kMinOps = 3;   // below this, dispatch overhead wins
+  static constexpr uint8_t kHeat = 2;    // head visits before formation
+
+  // Core executor, shared by step_baseline and step_env (public so the
+  // envs in machine.cpp / system.cpp can instantiate it; not a stable API).
+  template <class Env>
+  TraceExecResult execute(Trace& t, CpuState& st, mem::Memory& mem, uint64_t budget,
+                          Env& env);
+
+ private:
+  struct Slot {
+    uint32_t head = 1;      // established trace head (1 = none)
+    bool rejected = false;  // head built but below kMinOps
+    uint32_t cand_pc = 1;   // rival head warming up
+    uint8_t cand_heat = 0;
+    Trace trace;
+  };
+  static constexpr size_t kSlots = 4096;
+
+  static size_t slot_index(uint32_t pc) { return (pc >> 2) & (kSlots - 1); }
+
+  // Heat accounting + revalidation + (re)formation. Returns the valid hot
+  // trace at `pc`, or nullptr (slow path).
+  Trace* hot_trace(uint32_t pc, const mem::Memory& memory);
+
+  bool build_trace(Trace& t, uint32_t pc, const mem::Memory& memory) const;
+  bool validate(const Trace& t, const mem::Memory& memory) const;
+
+  std::vector<Slot> slots_;
+  DataTlb tlb_;
+  TraceStats stats_;
+};
+
+// --- Core trace executor -----------------------------------------------
+//
+// One copy of every handler; the two dispatch builds differ only in how
+// the next handler is reached. With computed goto (GCC/Clang, default)
+// each handler jumps straight to the next op's handler; the portable
+// build (-DDIMSIM_PORTABLE_DISPATCH or other compilers) routes through a
+// jump-table switch.
+#if !defined(DIMSIM_PORTABLE_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define DIMSIM_TRACE_THREADED 1
+#else
+#define DIMSIM_TRACE_THREADED 0
+#endif
+
+template <class Env>
+TraceExecResult TraceCache::execute(Trace& t, CpuState& st, mem::Memory& mem,
+                                    uint64_t budget, Env& env) {
+  using trace_detail::t_read16;
+  using trace_detail::t_read32;
+  using trace_detail::t_read8;
+  using trace_detail::t_write16;
+  using trace_detail::t_write32;
+  using trace_detail::t_write8;
+
+  TraceExecResult result;
+  const size_t limit =
+      budget < t.ops.size() ? static_cast<size_t>(budget) : t.ops.size();
+  if (limit == 0) return result;
+  uint32_t* const r = st.regs.data();
+  r[0] = 0;  // step() maintains this invariant after every retire
+  DataTlb& tlb = tlb_;
+  size_t i = 0;
+  const TraceOp* op = &t.ops[0];
+
+// Handler epilogues. RETIRE_LINEAR advances past a straight-line op;
+// terminals set the next PC and leave. A store that hit the trace's own
+// code range retires normally, then bails (the interpreter would fetch
+// the freshly written word for the next op).
+#define DIMSIM_RETIRE(next_pc, taken, memacc, addr) \
+  env.retired(*op, (next_pc), (taken), (memacc), (addr))
+
+#if DIMSIM_TRACE_THREADED
+#define DIMSIM_GOTO_KIND() goto* kLabels[static_cast<size_t>(op->kind)]
+#else
+#define DIMSIM_GOTO_KIND() goto dispatch_switch
+#endif
+
+#define DIMSIM_NEXT()                          \
+  do {                                         \
+    if (++i >= limit) goto out_budget;         \
+    op = &t.ops[i];                            \
+    if constexpr (Env::kDispatchProbe) {       \
+      if (env.pre_dispatch(op->pc)) {          \
+        st.pc = op->pc;                        \
+        result.dispatch_stop = true;           \
+        ++stats_.dispatch_stops;               \
+        goto out;                              \
+      }                                        \
+    }                                          \
+    DIMSIM_GOTO_KIND();                        \
+  } while (0)
+
+#define DIMSIM_RETIRE_LINEAR() \
+  do {                         \
+    DIMSIM_RETIRE(op->pc + 4, false, false, 0); \
+    DIMSIM_NEXT();             \
+  } while (0)
+
+#define DIMSIM_STORE_TAIL(addr, width)                                        \
+  do {                                                                        \
+    DIMSIM_RETIRE(op->pc + 4, false, true, (addr));                           \
+    const uint64_t a64 = static_cast<uint64_t>(addr);                         \
+    if (a64 + (width) > t.start_pc && a64 < t.end64) {                        \
+      ++stats_.smc_bails;                                                     \
+      st.pc = op->pc + 4;                                                     \
+      i += 1;                                                                 \
+      goto out;                                                               \
+    }                                                                         \
+    DIMSIM_NEXT();                                                            \
+  } while (0)
+
+#if DIMSIM_TRACE_THREADED
+  static const void* const kLabels[] = {
+      &&H_TAddu, &&H_TSubu, &&H_TAnd, &&H_TOr, &&H_TXor, &&H_TNor, &&H_TSlt,
+      &&H_TSltu, &&H_TSllK, &&H_TSrlK, &&H_TSraK, &&H_TSllv, &&H_TSrlv,
+      &&H_TSrav, &&H_TAddiu, &&H_TSlti, &&H_TSltiu, &&H_TAndi, &&H_TOri,
+      &&H_TXori, &&H_TLui, &&H_TMult, &&H_TMultu, &&H_TDiv, &&H_TDivu,
+      &&H_TMfhi, &&H_TMflo, &&H_TMthi, &&H_TMtlo, &&H_TLb, &&H_TLbu, &&H_TLh,
+      &&H_TLhu, &&H_TLw, &&H_TSb, &&H_TSh, &&H_TSw, &&H_TBr, &&H_TBrLink,
+      &&H_TJ, &&H_TJal, &&H_TJr, &&H_TJalr,
+  };
+  DIMSIM_GOTO_KIND();
+#else
+dispatch_switch:
+  switch (op->kind) {
+    case TKind::kTAddu: goto H_TAddu;
+    case TKind::kTSubu: goto H_TSubu;
+    case TKind::kTAnd: goto H_TAnd;
+    case TKind::kTOr: goto H_TOr;
+    case TKind::kTXor: goto H_TXor;
+    case TKind::kTNor: goto H_TNor;
+    case TKind::kTSlt: goto H_TSlt;
+    case TKind::kTSltu: goto H_TSltu;
+    case TKind::kTSllK: goto H_TSllK;
+    case TKind::kTSrlK: goto H_TSrlK;
+    case TKind::kTSraK: goto H_TSraK;
+    case TKind::kTSllv: goto H_TSllv;
+    case TKind::kTSrlv: goto H_TSrlv;
+    case TKind::kTSrav: goto H_TSrav;
+    case TKind::kTAddiu: goto H_TAddiu;
+    case TKind::kTSlti: goto H_TSlti;
+    case TKind::kTSltiu: goto H_TSltiu;
+    case TKind::kTAndi: goto H_TAndi;
+    case TKind::kTOri: goto H_TOri;
+    case TKind::kTXori: goto H_TXori;
+    case TKind::kTLui: goto H_TLui;
+    case TKind::kTMult: goto H_TMult;
+    case TKind::kTMultu: goto H_TMultu;
+    case TKind::kTDiv: goto H_TDiv;
+    case TKind::kTDivu: goto H_TDivu;
+    case TKind::kTMfhi: goto H_TMfhi;
+    case TKind::kTMflo: goto H_TMflo;
+    case TKind::kTMthi: goto H_TMthi;
+    case TKind::kTMtlo: goto H_TMtlo;
+    case TKind::kTLb: goto H_TLb;
+    case TKind::kTLbu: goto H_TLbu;
+    case TKind::kTLh: goto H_TLh;
+    case TKind::kTLhu: goto H_TLhu;
+    case TKind::kTLw: goto H_TLw;
+    case TKind::kTSb: goto H_TSb;
+    case TKind::kTSh: goto H_TSh;
+    case TKind::kTSw: goto H_TSw;
+    case TKind::kTBr: goto H_TBr;
+    case TKind::kTBrLink: goto H_TBrLink;
+    case TKind::kTJ: goto H_TJ;
+    case TKind::kTJal: goto H_TJal;
+    case TKind::kTJr: goto H_TJr;
+    case TKind::kTJalr: goto H_TJalr;
+  }
+  goto out_budget;  // unreachable; silences -Wimplicit-fallthrough
+#endif
+
+// --- straight-line ALU --------------------------------------------------
+H_TAddu:
+  if (op->d) r[op->d] = r[op->a] + r[op->b];
+  DIMSIM_RETIRE_LINEAR();
+H_TSubu:
+  if (op->d) r[op->d] = r[op->a] - r[op->b];
+  DIMSIM_RETIRE_LINEAR();
+H_TAnd:
+  if (op->d) r[op->d] = r[op->a] & r[op->b];
+  DIMSIM_RETIRE_LINEAR();
+H_TOr:
+  if (op->d) r[op->d] = r[op->a] | r[op->b];
+  DIMSIM_RETIRE_LINEAR();
+H_TXor:
+  if (op->d) r[op->d] = r[op->a] ^ r[op->b];
+  DIMSIM_RETIRE_LINEAR();
+H_TNor:
+  if (op->d) r[op->d] = ~(r[op->a] | r[op->b]);
+  DIMSIM_RETIRE_LINEAR();
+H_TSlt:
+  if (op->d) {
+    r[op->d] = static_cast<int32_t>(r[op->a]) < static_cast<int32_t>(r[op->b]) ? 1u : 0u;
+  }
+  DIMSIM_RETIRE_LINEAR();
+H_TSltu:
+  if (op->d) r[op->d] = r[op->a] < r[op->b] ? 1u : 0u;
+  DIMSIM_RETIRE_LINEAR();
+H_TSllK:
+  if (op->d) r[op->d] = r[op->b] << op->imm;
+  DIMSIM_RETIRE_LINEAR();
+H_TSrlK:
+  if (op->d) r[op->d] = r[op->b] >> op->imm;
+  DIMSIM_RETIRE_LINEAR();
+H_TSraK:
+  if (op->d) {
+    r[op->d] = static_cast<uint32_t>(static_cast<int32_t>(r[op->b]) >> op->imm);
+  }
+  DIMSIM_RETIRE_LINEAR();
+H_TSllv:
+  if (op->d) r[op->d] = r[op->b] << (r[op->a] & 31);
+  DIMSIM_RETIRE_LINEAR();
+H_TSrlv:
+  if (op->d) r[op->d] = r[op->b] >> (r[op->a] & 31);
+  DIMSIM_RETIRE_LINEAR();
+H_TSrav:
+  if (op->d) {
+    r[op->d] = static_cast<uint32_t>(static_cast<int32_t>(r[op->b]) >> (r[op->a] & 31));
+  }
+  DIMSIM_RETIRE_LINEAR();
+H_TAddiu:
+  if (op->d) r[op->d] = r[op->a] + static_cast<uint32_t>(op->imm);
+  DIMSIM_RETIRE_LINEAR();
+H_TSlti:
+  if (op->d) r[op->d] = static_cast<int32_t>(r[op->a]) < op->imm ? 1u : 0u;
+  DIMSIM_RETIRE_LINEAR();
+H_TSltiu:
+  if (op->d) r[op->d] = r[op->a] < static_cast<uint32_t>(op->imm) ? 1u : 0u;
+  DIMSIM_RETIRE_LINEAR();
+H_TAndi:
+  if (op->d) r[op->d] = r[op->a] & static_cast<uint32_t>(op->imm);
+  DIMSIM_RETIRE_LINEAR();
+H_TOri:
+  if (op->d) r[op->d] = r[op->a] | static_cast<uint32_t>(op->imm);
+  DIMSIM_RETIRE_LINEAR();
+H_TXori:
+  if (op->d) r[op->d] = r[op->a] ^ static_cast<uint32_t>(op->imm);
+  DIMSIM_RETIRE_LINEAR();
+H_TLui:
+  if (op->d) r[op->d] = static_cast<uint32_t>(op->imm);  // value precomputed
+  DIMSIM_RETIRE_LINEAR();
+
+// --- HI/LO --------------------------------------------------------------
+H_TMult: {
+  const uint64_t p = mult_eval(isa::Op::kMult, r[op->a], r[op->b]);
+  st.lo = static_cast<uint32_t>(p);
+  st.hi = static_cast<uint32_t>(p >> 32);
+  DIMSIM_RETIRE_LINEAR();
+}
+H_TMultu: {
+  const uint64_t p = mult_eval(isa::Op::kMultu, r[op->a], r[op->b]);
+  st.lo = static_cast<uint32_t>(p);
+  st.hi = static_cast<uint32_t>(p >> 32);
+  DIMSIM_RETIRE_LINEAR();
+}
+H_TDiv: {
+  const int32_t a = static_cast<int32_t>(r[op->a]);
+  const int32_t b = static_cast<int32_t>(r[op->b]);
+  if (b == 0) {  // step()'s deterministic choice for the undefined case
+    st.lo = 0;
+    st.hi = r[op->a];
+  } else if (a == INT32_MIN && b == -1) {
+    st.lo = static_cast<uint32_t>(INT32_MIN);
+    st.hi = 0;
+  } else {
+    st.lo = static_cast<uint32_t>(a / b);
+    st.hi = static_cast<uint32_t>(a % b);
+  }
+  DIMSIM_RETIRE_LINEAR();
+}
+H_TDivu: {
+  const uint32_t a = r[op->a];
+  const uint32_t b = r[op->b];
+  if (b == 0) {
+    st.lo = 0;
+    st.hi = a;
+  } else {
+    st.lo = a / b;
+    st.hi = a % b;
+  }
+  DIMSIM_RETIRE_LINEAR();
+}
+H_TMfhi:
+  if (op->d) r[op->d] = st.hi;
+  DIMSIM_RETIRE_LINEAR();
+H_TMflo:
+  if (op->d) r[op->d] = st.lo;
+  DIMSIM_RETIRE_LINEAR();
+H_TMthi:
+  st.hi = r[op->a];
+  DIMSIM_RETIRE_LINEAR();
+H_TMtlo:
+  st.lo = r[op->a];
+  DIMSIM_RETIRE_LINEAR();
+
+// --- memory -------------------------------------------------------------
+H_TLb: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  const uint32_t v =
+      static_cast<uint32_t>(static_cast<int8_t>(t_read8(tlb, mem, addr)));
+  if (op->d) r[op->d] = v;
+  DIMSIM_RETIRE(op->pc + 4, false, true, addr);
+  DIMSIM_NEXT();
+}
+H_TLbu: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  const uint32_t v = t_read8(tlb, mem, addr);
+  if (op->d) r[op->d] = v;
+  DIMSIM_RETIRE(op->pc + 4, false, true, addr);
+  DIMSIM_NEXT();
+}
+H_TLh: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  const uint32_t v = static_cast<uint32_t>(
+      static_cast<int16_t>(t_read16(tlb, mem, addr)));
+  if (op->d) r[op->d] = v;
+  DIMSIM_RETIRE(op->pc + 4, false, true, addr);
+  DIMSIM_NEXT();
+}
+H_TLhu: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  const uint32_t v = t_read16(tlb, mem, addr);
+  if (op->d) r[op->d] = v;
+  DIMSIM_RETIRE(op->pc + 4, false, true, addr);
+  DIMSIM_NEXT();
+}
+H_TLw: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  const uint32_t v = t_read32(tlb, mem, addr);
+  if (op->d) r[op->d] = v;
+  DIMSIM_RETIRE(op->pc + 4, false, true, addr);
+  DIMSIM_NEXT();
+}
+H_TSb: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  t_write8(tlb, mem, addr, static_cast<uint8_t>(r[op->b]));
+  DIMSIM_STORE_TAIL(addr, 1);
+}
+H_TSh: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  t_write16(tlb, mem, addr, static_cast<uint16_t>(r[op->b]));
+  DIMSIM_STORE_TAIL(addr, 2);
+}
+H_TSw: {
+  const uint32_t addr = r[op->a] + static_cast<uint32_t>(op->imm);
+  t_write32(tlb, mem, addr, r[op->b]);
+  DIMSIM_STORE_TAIL(addr, 4);
+}
+
+// --- terminals ----------------------------------------------------------
+H_TBr: {
+  const bool taken = branch_taken(op->instr, r[op->a], r[op->b]);
+  const uint32_t next = taken ? static_cast<uint32_t>(op->imm) : op->pc + 4;
+  DIMSIM_RETIRE(next, taken, false, 0);
+  st.pc = next;
+  result.terminal_taken = taken;
+  goto out_terminal;
+}
+H_TBrLink: {
+  r[31] = op->pc + 4;  // bltzal/bgezal link unconditionally, like step()
+  const bool taken = branch_taken(op->instr, r[op->a], r[op->b]);
+  const uint32_t next = taken ? static_cast<uint32_t>(op->imm) : op->pc + 4;
+  DIMSIM_RETIRE(next, taken, false, 0);
+  st.pc = next;
+  result.terminal_taken = taken;
+  goto out_terminal;
+}
+H_TJ: {
+  const uint32_t next = static_cast<uint32_t>(op->imm);
+  DIMSIM_RETIRE(next, true, false, 0);
+  st.pc = next;
+  result.terminal_taken = true;
+  goto out_terminal;
+}
+H_TJal: {
+  const uint32_t next = static_cast<uint32_t>(op->imm);
+  r[31] = op->pc + 4;
+  DIMSIM_RETIRE(next, true, false, 0);
+  st.pc = next;
+  result.terminal_taken = true;
+  goto out_terminal;
+}
+H_TJr: {
+  const uint32_t next = r[op->a];
+  DIMSIM_RETIRE(next, true, false, 0);
+  st.pc = next;
+  result.terminal_taken = true;
+  goto out_terminal;
+}
+H_TJalr: {
+  const uint32_t next = r[op->a];  // read before the link write (rd may == rs)
+  if (op->d) r[op->d] = op->pc + 4;
+  DIMSIM_RETIRE(next, true, false, 0);
+  st.pc = next;
+  result.terminal_taken = true;
+  goto out_terminal;
+}
+
+out_terminal:
+  i += 1;
+  result.terminal_executed = true;
+  goto out;
+
+out_budget:
+  // op still points at the last executed (straight-line) instruction.
+  st.pc = op->pc + 4;
+  goto out;
+
+out:
+  result.executed = static_cast<uint64_t>(i);
+  ++stats_.executions;
+  stats_.ops_executed += result.executed;
+  return result;
+
+#undef DIMSIM_RETIRE
+#undef DIMSIM_GOTO_KIND
+#undef DIMSIM_NEXT
+#undef DIMSIM_RETIRE_LINEAR
+#undef DIMSIM_STORE_TAIL
+}
+
+}  // namespace dim::sim

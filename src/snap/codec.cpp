@@ -34,6 +34,10 @@ void encode_machine(Writer& w, const sim::MachineConfig& m) {
   w.u64(m.max_instructions);
   w.u32(m.initial_sp);
   w.u32(m.initial_gp);
+  // host_trace_dispatch is deliberately NOT encoded: it selects a host-side
+  // execution strategy with no architectural or timing effect (pinned by
+  // dimsim-fuzz --cmp-dispatch), so snapshots restore across dispatch modes
+  // and existing golden .snap fingerprints stay valid.
 }
 
 // The translator-facing knobs: everything that shapes WHICH configurations

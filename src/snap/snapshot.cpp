@@ -328,6 +328,9 @@ void restore_snapshot_payload(accel::AcceleratedSystem& system,
   SystemAccess::set_extension(system, d.extension_candidate,
                               d.extension_config_pc, d.extension_branch_pc);
   SystemAccess::set_array_cycle_acc(system, d.array_cycle_acc);
+  // restore_pages invalidated every page pointer and replaced the image;
+  // drop all host-side decoded state (decode cache, superblock traces).
+  SystemAccess::clear_host_caches(system);
 }
 
 void restore_snapshot(accel::AcceleratedSystem& system, std::istream& in,

@@ -79,6 +79,16 @@ struct SystemAccess {
   static void set_array_cycle_acc(accel::AcceleratedSystem& s, uint64_t v) {
     s.array_cycle_acc_ = v;
   }
+
+  // Restoring replaces the memory image wholesale (restore_pages
+  // invalidates page pointers) — both host-side caches must forget
+  // everything they decoded from the old image. Architecture-invisible:
+  // they rebuild lazily and revalidate against memory, but the trace
+  // cache's cached page pointer would dangle without this.
+  static void clear_host_caches(accel::AcceleratedSystem& s) {
+    s.decode_cache_.clear();
+    s.trace_cache_.clear();
+  }
 };
 
 }  // namespace dim::snap

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "asm/assembler.hpp"
+#include "isa/encoder.hpp"
 #include "sim/executor.hpp"
 #include "sim/machine.hpp"
 
@@ -224,6 +225,66 @@ TEST(Executor, AluEvalMatchesStepForPureOps) {
   i.op = Op::kSra;
   i.shamt = 31;
   EXPECT_EQ(alu_eval(i, 0, 0x80000000u), 0xFFFFFFFFu);
+}
+
+TEST(Executor, PcWrapsAtTopOfAddressSpace) {
+  // A straight-line instruction at the last word of the address space:
+  // pc + 4 wraps to 0 in uint32 arithmetic, it does not trap or saturate.
+  mem::Memory m;
+  isa::Instr add;
+  add.op = isa::Op::kAddiu;
+  add.rs = 8;
+  add.rt = 8;
+  add.imm16 = 5;
+  m.write32(0xFFFFFFFCu, isa::encode(add));
+  CpuState s;
+  s.pc = 0xFFFFFFFCu;
+  const StepInfo info = step(s, m);
+  EXPECT_EQ(s.pc, 0u);
+  EXPECT_EQ(s.regs[8], 5u);
+  EXPECT_EQ(info.next_pc, 0u);
+}
+
+TEST(Executor, BranchAtTopOfAddressSpaceWrapsTarget) {
+  // A taken backward branch at 0xFFFFFFFC: the target arithmetic
+  // (pc + 4 + (simm << 2)) wraps through zero back into high memory.
+  mem::Memory m;
+  isa::Instr beq;
+  beq.op = isa::Op::kBeq;
+  beq.rs = 0;
+  beq.rt = 0;
+  beq.imm16 = static_cast<uint16_t>(-4);  // target = 0 + (-16) = 0xFFFFFFF0
+  m.write32(0xFFFFFFFCu, isa::encode(beq));
+  CpuState s;
+  s.pc = 0xFFFFFFFCu;
+  const StepInfo info = step(s, m);
+  EXPECT_TRUE(info.taken);
+  EXPECT_EQ(s.pc, 0xFFFFFFF0u);
+
+  // Not taken: falls through with the wrapped pc + 4.
+  isa::Instr bne = beq;
+  bne.op = isa::Op::kBne;
+  m.write32(0xFFFFFFFCu, isa::encode(bne));
+  s.pc = 0xFFFFFFFCu;
+  const StepInfo fall = step(s, m);
+  EXPECT_FALSE(fall.taken);
+  EXPECT_EQ(s.pc, 0u);
+}
+
+TEST(Executor, JumpAtTopOfAddressSpaceUsesWrappedRegion) {
+  // j/jal paste target26 into the region of pc + 4; at 0xFFFFFFFC that
+  // region is 0x00000000, so the jump lands in low memory — and jal's
+  // link register holds the wrapped return address.
+  mem::Memory m;
+  isa::Instr jal;
+  jal.op = isa::Op::kJal;
+  jal.target26 = 0x40;  // target = (0 & 0xF0000000) | (0x40 << 2) = 0x100
+  m.write32(0xFFFFFFFCu, isa::encode(jal));
+  CpuState s;
+  s.pc = 0xFFFFFFFCu;
+  step(s, m);
+  EXPECT_EQ(s.pc, 0x100u);
+  EXPECT_EQ(s.regs[31], 0u);  // return address wrapped to 0
 }
 
 TEST(Executor, BranchHelpers) {

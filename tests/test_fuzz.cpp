@@ -228,5 +228,54 @@ TEST(FuzzCampaign, SubuSwapFaultIsDetectable) {
   EXPECT_GT(r.divergent_seeds, 0) << "planted subu fault not detected";
 }
 
+TEST(FuzzDispatch, CodePageStoresStayTransparent) {
+  // The same-word code-store mode rewrites instructions with their own
+  // values, so programs stay transparency-safe: the ordinary
+  // accel-vs-baseline oracle must hold with the mode on. (Real SMC —
+  // smc_patch_stores — legitimately breaks this oracle and is only legal
+  // in dispatch campaigns.)
+  GenOptions gen;
+  gen.code_page_stores = true;
+  const int seeds = seed_budget(10);
+  for (int s = 0; s < seeds; ++s) {
+    const FuzzProgram p = generate_program(static_cast<uint64_t>(s), gen);
+    const OracleResult r = check_program(p.render(), quick_matrix());
+    EXPECT_FALSE(r.inconclusive) << "seed " << s << ": " << r.inconclusive_reason;
+    EXPECT_FALSE(r.divergence.found)
+        << "seed " << s << " diverged at " << r.divergence.point_label << ": "
+        << r.divergence.detail;
+  }
+}
+
+TEST(FuzzDispatch, CampaignWithSmcIsCleanAndThreadInvariant) {
+  // The merge gate for the superblock trace engine: fast vs slow dispatch
+  // bit-identical, with both code-store modes on (including real SMC
+  // patches). Also pins thread-count invariance of the dispatch campaign.
+  CampaignOptions options;
+  options.seeds = seed_budget(15);
+  options.matrix = quick_matrix();
+  options.gen.code_page_stores = true;
+  options.gen.smc_patch_stores = true;
+
+  options.threads = 1;
+  const CampaignResult one = run_dispatch_campaign(options);
+  EXPECT_TRUE(one.clean()) << one.divergent_seeds << " divergent seeds";
+  EXPECT_EQ(one.inconclusive_seeds, 0);
+  EXPECT_EQ(one.seeds_run, options.seeds);
+
+  options.threads = 4;
+  const CampaignResult four = run_dispatch_campaign(options);
+  std::ostringstream json_one, json_four;
+  write_campaign_json(json_one, one);
+  write_campaign_json(json_four, four);
+  EXPECT_EQ(json_one.str(), json_four.str());
+}
+
+TEST(FuzzDispatch, OracleRejectsUnassemblableSource) {
+  const OracleResult r = check_dispatch_program("this is not assembly", quick_matrix());
+  EXPECT_TRUE(r.inconclusive);
+  EXPECT_FALSE(r.divergence.found);
+}
+
 }  // namespace
 }  // namespace dim::fuzz

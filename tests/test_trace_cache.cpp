@@ -1,0 +1,480 @@
+// Superblock trace-threaded dispatch (sim/trace_cache.hpp): the fast path
+// must be bit-identical to the per-instruction slow path — architectural
+// state, cycle accounting, stats, and (on the accelerated system) the
+// stamped event stream. These tests pin that contract on hand-picked edge
+// cases the fuzzer is unlikely to weight: self-modifying code, PC
+// wraparound at 0xFFFFFFFC, page-straddling traces, branches into trace
+// interiors, cache lifecycle across Machine::reset and snapshot restore,
+// and instruction-limit cuts landing mid-trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/stats_io.hpp"
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+#include "isa/encoder.hpp"
+#include "obs/event.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_cache.hpp"
+#include "snap/snapshot.hpp"
+
+namespace dim::sim {
+namespace {
+
+void expect_same_state(const CpuState& slow, const CpuState& fast) {
+  EXPECT_EQ(slow.regs, fast.regs);
+  EXPECT_EQ(slow.pc, fast.pc);
+  EXPECT_EQ(slow.hi, fast.hi);
+  EXPECT_EQ(slow.lo, fast.lo);
+  EXPECT_EQ(slow.halted, fast.halted);
+  EXPECT_EQ(slow.output, fast.output);
+}
+
+// Runs `program` with the trace dispatch off and on; every RunResult field
+// must match. Returns the fast run for extra assertions.
+RunResult expect_dispatch_identical(const asmblr::Program& program,
+                                    MachineConfig config = {}) {
+  config.host_trace_dispatch = false;
+  const RunResult slow = run_baseline(program, config);
+  config.host_trace_dispatch = true;
+  const RunResult fast = run_baseline(program, config);
+  EXPECT_EQ(slow.instructions, fast.instructions);
+  EXPECT_EQ(slow.cycles, fast.cycles);
+  EXPECT_EQ(slow.hit_limit, fast.hit_limit);
+  EXPECT_EQ(slow.memory_hash, fast.memory_hash);
+  EXPECT_EQ(slow.icache_misses, fast.icache_misses);
+  EXPECT_EQ(slow.dcache_misses, fast.dcache_misses);
+  EXPECT_EQ(slow.mem_accesses, fast.mem_accesses);
+  expect_same_state(slow.state, fast.state);
+  return fast;
+}
+
+RunResult expect_dispatch_identical(const std::string& source,
+                                    MachineConfig config = {}) {
+  return expect_dispatch_identical(asmblr::assemble(source), config);
+}
+
+// A loop hot enough to form traces, with loads/stores and varied ALU work.
+const char* kHotLoop = R"(
+main:
+        li   $t3, 200
+        la   $t6, buf
+loop:
+        addiu $t0, $t0, 1
+        sll   $t1, $t0, 2
+        xor   $t2, $t1, $t3
+        sw    $t2, 0($t6)
+        lw    $t4, 0($t6)
+        addu  $t5, $t5, $t4
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+        .data
+buf:    .word 0
+)";
+
+TEST(TraceCache, FastMatchesSlowOnHotLoop) {
+  const asmblr::Program p = asmblr::assemble(kHotLoop);
+  expect_dispatch_identical(p);
+
+  // And the fast path actually ran traces (not a vacuous pass).
+  MachineConfig fast;
+  fast.host_trace_dispatch = true;
+  Machine m(p, fast);
+  m.run();
+  const TraceStats& st = m.trace_cache().stats();
+  EXPECT_GT(st.traces_built, 0u);
+  EXPECT_GT(st.executions, 0u);
+  EXPECT_GT(st.ops_executed, 0u);
+  // Default timing (scalar, no caches) permits folded commits.
+  EXPECT_GT(st.folded_executions, 0u);
+}
+
+TEST(TraceCache, FastMatchesSlowUnderNonFoldableTimings) {
+  // Dual issue, instruction cache, data cache: each disables the folded
+  // commit and forces the per-op TimedEnv, which must still be identical.
+  MachineConfig dual;
+  dual.timing.issue_width = 2;
+  expect_dispatch_identical(kHotLoop, dual);
+
+  MachineConfig icache;
+  icache.timing.icache.enabled = true;
+  expect_dispatch_identical(kHotLoop, icache);
+
+  MachineConfig dcache;
+  dcache.timing.dcache.enabled = true;
+  expect_dispatch_identical(kHotLoop, dcache);
+
+  MachineConfig all;
+  all.timing.issue_width = 2;
+  all.timing.icache.enabled = true;
+  all.timing.dcache.enabled = true;
+  expect_dispatch_identical(kHotLoop, all);
+}
+
+TEST(TraceCache, FastMatchesSlowWithHiLoTraces) {
+  // mult/div/mfhi/mflo inside the hot loop: HI/LO latency interacts with
+  // the stall clock, so these traces are never folded — but the timed
+  // path must agree cycle for cycle (incl. div-by-zero semantics).
+  expect_dispatch_identical(R"(
+main:
+        li   $t3, 120
+        li   $t6, 7
+loop:
+        addiu $t0, $t0, 3
+        mult  $t0, $t6
+        mflo  $t1
+        addu  $t5, $t5, $t1
+        div   $t0, $t3
+        mfhi  $t2
+        xor   $t5, $t5, $t2
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+)");
+}
+
+TEST(TraceCache, SelfModifyingPatchLoopMatchesSlowPath) {
+  // Each iteration loads a donor instruction word and stores it over the
+  // `site` instruction before executing it. The store lands inside the
+  // trace being executed (bail), and the changed word makes revalidation
+  // rebuild the trace on re-entry. Results must still match the slow path
+  // exactly.
+  const asmblr::Program p = asmblr::assemble(R"(
+main:
+        li   $t3, 60
+        la   $t6, donor_a
+        la   $t7, donor_b
+        la   $t8, site
+loop:
+        andi  $t4, $t3, 1
+        beq   $t4, $zero, even
+        lw    $t1, 0($t6)
+        j     patch
+even:
+        lw    $t1, 0($t7)
+patch:
+        sw    $t1, 0($t8)
+site:
+        addiu $t5, $t5, 1
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+donor_a:
+        addiu $t5, $t5, 3
+donor_b:
+        addiu $t5, $t5, 5
+)");
+  expect_dispatch_identical(p);
+
+  MachineConfig fast;
+  fast.host_trace_dispatch = true;
+  Machine m(p, fast);
+  m.run();
+  const TraceStats& st = m.trace_cache().stats();
+  EXPECT_GT(st.revalidation_rebuilds, 0u) << "patched word never noticed";
+  EXPECT_GT(st.smc_bails, 0u) << "store into the live trace never bailed";
+}
+
+TEST(TraceCache, SameWordRewriteBailsWithoutRebuilding) {
+  // Rewriting an instruction with its own value must still bail out of
+  // the running trace (the engine is conservative about stores into its
+  // code range) but must NOT rebuild: revalidation sees identical words.
+  const asmblr::Program p = asmblr::assemble(R"(
+main:
+        li   $t3, 50
+        la   $t6, loop
+loop:
+        lw    $t1, 0($t6)
+        sw    $t1, 0($t6)
+        addiu $t0, $t0, 1
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+)");
+  expect_dispatch_identical(p);
+
+  MachineConfig fast;
+  fast.host_trace_dispatch = true;
+  Machine m(p, fast);
+  m.run();
+  const TraceStats& st = m.trace_cache().stats();
+  EXPECT_GT(st.smc_bails, 0u);
+  EXPECT_EQ(st.revalidation_rebuilds, 0u);
+}
+
+// Rebases a single-segment code-only program (no absolute addressing:
+// branches are PC-relative, so the image is position-independent).
+asmblr::Program rebase(const std::string& source, uint32_t base) {
+  asmblr::Program p = asmblr::assemble(source);
+  for (size_t i = 1; i < p.segments.size(); ++i) {
+    EXPECT_TRUE(p.segments[i].bytes.empty()) << "rebase needs a code-only program";
+  }
+  EXPECT_EQ(p.entry, p.segments[0].base);
+  p.segments[0].base = base;
+  p.entry = base;
+  return p;
+}
+
+TEST(TraceCache, StraightLineRunWrapsPcAtTopOfMemory) {
+  // Init word at 0xFFFFFFDC, then eight straight-line adds filling
+  // 0xFFFFFFE0..0xFFFFFFFC; execution falls off the top and the PC wraps
+  // to 0, where the loop tail (counter + backward branch across the wrap)
+  // lives. Trace formation must stop cleanly at the boundary and the
+  // fast path must retire the identical stream.
+  asmblr::Program top = rebase(R"(
+main:
+        addiu $t3, $zero, 80
+        addiu $t0, $t0, 1
+        addiu $t0, $t0, 2
+        addiu $t0, $t0, 3
+        addiu $t0, $t0, 4
+        addiu $t0, $t0, 5
+        addiu $t0, $t0, 6
+        addiu $t0, $t0, 7
+        addiu $t0, $t0, 8
+)",
+                               0xFFFFFFDCu);
+  asmblr::Program low = asmblr::assemble(R"(
+main:
+        addiu $t1, $t1, 1
+        addiu $t3, $t3, -1
+        break
+        break
+)");
+  // Patch word 2 with `bne $t3, $zero, <back to 0xFFFFFFE0>`: from
+  // pc = 0x8 the target is pc + 4 + (simm << 2) in uint32 arithmetic, so
+  // simm = (0xFFFFFFE0 - 0xC) >> 2 = -11 wraps backwards across zero.
+  isa::Instr bne;
+  bne.op = isa::Op::kBne;
+  bne.rs = 11;  // $t3
+  bne.rt = 0;
+  bne.imm16 = static_cast<uint16_t>(-11);
+  const uint32_t word = isa::encode(bne);
+  for (int b = 0; b < 4; ++b) {
+    low.segments[0].bytes[8 + static_cast<size_t>(b)] =
+        static_cast<uint8_t>(word >> (8 * b));
+  }
+
+  asmblr::Program wrap;
+  wrap.entry = top.entry;
+  wrap.segments = top.segments;
+  asmblr::Segment zero_seg;
+  zero_seg.base = 0;
+  zero_seg.bytes = low.segments[0].bytes;
+  wrap.segments.push_back(zero_seg);
+
+  const RunResult fast = expect_dispatch_identical(wrap);
+  EXPECT_FALSE(fast.hit_limit);
+  EXPECT_EQ(fast.state.regs[8], 80u * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));  // $t0
+  EXPECT_EQ(fast.state.regs[9], 80u);                                    // $t1
+}
+
+TEST(TraceCache, TraceStraddlesDataPageBoundary) {
+  // Loop head four words below a 64 KiB page boundary: the superblock
+  // spans two pages, so revalidation and the per-page word check run on
+  // both halves. The terminal branch sits past the boundary.
+  const asmblr::Program p = rebase(R"(
+main:
+        addiu $t3, $zero, 150
+loop:
+        addiu $t0, $t0, 1
+        addiu $t0, $t0, 2
+        addiu $t0, $t0, 3
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, 5
+        addiu $t1, $t1, 6
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+)",
+                                   0x0040FFECu);  // loop head at 0x0040FFF0
+  const RunResult fast = expect_dispatch_identical(p);
+  EXPECT_FALSE(fast.hit_limit);
+}
+
+TEST(TraceCache, BackwardBranchIntoTraceInterior) {
+  // The inner branch re-enters the middle of the superblock formed from
+  // `head`; the interior PC gets its own trace slot and both must stay
+  // bit-identical to the slow path.
+  const asmblr::Program p = asmblr::assemble(R"(
+main:
+        addiu $t4, $zero, 40
+outer:
+        addiu $t3, $zero, 12
+head:
+        addiu $t0, $t0, 1
+mid:
+        addiu $t0, $t0, 2
+        addiu $t1, $t1, 3
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, mid
+        addiu $t4, $t4, -1
+        bne   $t4, $zero, outer
+        break
+)");
+  const RunResult fast = expect_dispatch_identical(p);
+  EXPECT_FALSE(fast.hit_limit);
+
+  MachineConfig cfg;
+  cfg.host_trace_dispatch = true;
+  Machine m(p, cfg);
+  m.run();
+  const uint32_t head = p.symbol("head");
+  const uint32_t mid = p.symbol("mid");
+  ASSERT_NE(m.trace_cache().peek(mid), nullptr) << "interior head never formed";
+  const Trace* t = m.trace_cache().peek(head);
+  if (t != nullptr) {
+    EXPECT_GE(t->ops.size(), TraceCache::kMinOps);
+    EXPECT_LE(t->ops.size(), TraceCache::kMaxOps);
+  }
+}
+
+TEST(TraceCache, InstructionLimitCutsMidTrace) {
+  // An odd max_instructions lands inside a superblock; the fast path must
+  // stop at exactly the same instruction, PC and cycle as the slow path.
+  for (const uint64_t limit : {7ull, 100ull, 101ull, 999ull, 1003ull}) {
+    MachineConfig cfg;
+    cfg.max_instructions = limit;
+    const RunResult fast = expect_dispatch_identical(kHotLoop, cfg);
+    EXPECT_TRUE(fast.hit_limit);
+    EXPECT_EQ(fast.instructions, limit);
+  }
+}
+
+TEST(TraceCache, MachineResetClearsHostCaches) {
+  // reset(programB) after running programA must behave exactly like a
+  // fresh machine on programB: stale decoded words or traces from A
+  // surviving the image swap would corrupt the run (the original bug this
+  // clear() contract pins).
+  const asmblr::Program a = asmblr::assemble(kHotLoop);
+  const asmblr::Program b = asmblr::assemble(R"(
+main:
+        li   $t3, 90
+loop:
+        addiu $t0, $t0, 7
+        sll   $t1, $t0, 1
+        subu  $t2, $t1, $t3
+        addiu $t3, $t3, -1
+        bne   $t3, $zero, loop
+        break
+)");
+  MachineConfig cfg;
+  cfg.host_trace_dispatch = true;
+
+  Machine reused(a, cfg);
+  reused.run();
+  EXPECT_GT(reused.trace_cache().stats().traces_built, 0u);
+  reused.reset(b);
+  EXPECT_EQ(reused.trace_cache().stats().traces_built, 0u);
+  const RunResult after_reset = reused.run();
+
+  Machine fresh(b, cfg);
+  const RunResult direct = fresh.run();
+
+  EXPECT_EQ(direct.instructions, after_reset.instructions);
+  EXPECT_EQ(direct.cycles, after_reset.cycles);
+  EXPECT_EQ(direct.memory_hash, after_reset.memory_hash);
+  expect_same_state(direct.state, after_reset.state);
+  EXPECT_EQ(fresh.trace_cache().stats().traces_built,
+            reused.trace_cache().stats().traces_built);
+  EXPECT_EQ(fresh.trace_cache().stats().executions,
+            reused.trace_cache().stats().executions);
+}
+
+std::string stats_json(const accel::AccelStats& stats) {
+  std::ostringstream out;
+  accel::write_json(out, stats, "cmp");
+  return out.str();
+}
+
+TEST(TraceCache, AcceleratedStatsAndEventsIdentical) {
+  // On the accelerated system the fast path threads through the same
+  // retire/observe sequence as the slow loop; the stats document and the
+  // stamped event stream (instruction/cycle stamps included) must match.
+  const asmblr::Program p = asmblr::assemble(kHotLoop);
+  accel::SystemConfig base = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+
+  obs::RecordingSink slow_sink;
+  accel::SystemConfig slow_cfg = base;
+  slow_cfg.machine.host_trace_dispatch = false;
+  slow_cfg.event_sink = &slow_sink;
+  accel::AcceleratedSystem slow(p, slow_cfg);
+  const accel::AccelStats slow_stats = slow.run();
+
+  obs::RecordingSink fast_sink;
+  accel::SystemConfig fast_cfg = base;
+  fast_cfg.machine.host_trace_dispatch = true;
+  fast_cfg.event_sink = &fast_sink;
+  accel::AcceleratedSystem fast(p, fast_cfg);
+  const accel::AccelStats fast_stats = fast.run();
+
+  EXPECT_EQ(stats_json(slow_stats), stats_json(fast_stats));
+  ASSERT_EQ(slow_sink.events().size(), fast_sink.events().size());
+  for (size_t i = 0; i < slow_sink.events().size(); ++i) {
+    EXPECT_EQ(obs::format_event(slow_sink.events()[i]),
+              obs::format_event(fast_sink.events()[i]))
+        << "event " << i;
+  }
+}
+
+TEST(TraceCache, RunUntilBoundariesSplitTracesCorrectly) {
+  // Pausing at arbitrary instruction boundaries — including ones that land
+  // mid-superblock — and continuing must retire the identical stream as
+  // one uninterrupted fast run, and as the slow path.
+  const asmblr::Program p = asmblr::assemble(kHotLoop);
+  accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+
+  cfg.machine.host_trace_dispatch = true;
+  accel::AcceleratedSystem straight(p, cfg);
+  const accel::AccelStats whole = straight.run();
+
+  accel::AcceleratedSystem chunked(p, cfg);
+  uint64_t boundary = 97;
+  accel::AccelStats paused = chunked.run_until(boundary);
+  while (!paused.final_state.halted && paused.instructions >= boundary) {
+    boundary += 97;
+    paused = chunked.run_until(boundary);
+  }
+  EXPECT_EQ(stats_json(whole), stats_json(paused));
+
+  cfg.machine.host_trace_dispatch = false;
+  accel::AcceleratedSystem slow(p, cfg);
+  const accel::AccelStats slow_stats = slow.run();
+  // host_trace_dispatch is host-side only, so the slow document is the
+  // same one.
+  EXPECT_EQ(stats_json(slow_stats), stats_json(whole));
+}
+
+TEST(TraceCache, SnapshotRestoreClearsHostCaches) {
+  // Restore into a system whose decode/trace caches are hot from a full
+  // prior run: restore_snapshot_payload must drop them (page pointers are
+  // invalidated by restore_pages, and trace heat belongs to the old run),
+  // after which the continuation equals the straight run bit for bit.
+  const asmblr::Program p = asmblr::assemble(kHotLoop);
+  accel::SystemConfig cfg = accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  cfg.machine.host_trace_dispatch = true;
+
+  accel::AcceleratedSystem straight(p, cfg);
+  const accel::AccelStats whole = straight.run();
+
+  accel::AcceleratedSystem source(p, cfg);
+  source.run_until(301);
+  const std::vector<uint8_t> payload = snap::encode_snapshot(source, p);
+
+  accel::AcceleratedSystem target(p, cfg);
+  target.run();  // dirty: caches hot, state at halt
+  EXPECT_GT(target.trace_cache().stats().traces_built, 0u);
+  snap::restore_snapshot_payload(target, payload, p);
+  EXPECT_EQ(target.trace_cache().stats().traces_built, 0u)
+      << "restore left stale traces alive";
+  const accel::AccelStats resumed = target.run();
+
+  EXPECT_EQ(stats_json(whole), stats_json(resumed));
+}
+
+}  // namespace
+}  // namespace dim::sim

@@ -8,11 +8,19 @@
 // over the SweepEngine worker pool; results — including --json output —
 // are byte-identical for any --threads value.
 //
+// --cmp-dispatch switches the oracle: instead of accel-vs-baseline
+// transparency, every seed is run with the superblock trace dispatch on
+// and off (sim/trace_cache.hpp) and the two runs must be bit-identical —
+// state, memory, cycles, stats, event streams — on the plain Machine and
+// at every matrix point. SMC-patching programs (--smc) are only legal
+// there. This mode is the merge gate for trace-engine changes.
+//
 // Usage:
 //   dimsim-fuzz [--seeds N] [--seed-start K] [--threads N]
 //               [--matrix full|quick] [--no-shrink] [--repro FILE]
 //               [--replay FILE] [--inject-fault none|addiu-imm|subu-swap]
 //               [--max-instructions N] [--json] [--self-test]
+//               [--cmp-dispatch] [--code-stores] [--smc]
 //
 // Exit codes: 0 = no divergence, 1 = divergence found (or self-test
 // failed), 2 = usage error.
@@ -31,7 +39,8 @@ constexpr const char* kUsage =
     "usage: dimsim-fuzz [--seeds N] [--seed-start K] [--threads N]\n"
     "                   [--matrix full|quick] [--no-shrink] [--repro FILE]\n"
     "                   [--replay FILE] [--inject-fault none|addiu-imm|subu-swap]\n"
-    "                   [--max-instructions N] [--json] [--self-test]\n";
+    "                   [--max-instructions N] [--json] [--self-test]\n"
+    "                   [--cmp-dispatch] [--code-stores] [--smc]\n";
 
 using dim::bt::FaultInjection;
 
@@ -148,6 +157,7 @@ int main(int argc, char** argv) {
   std::string matrix_name = "full";
   bool json = false;
   bool run_self_test = false;
+  bool cmp_dispatch = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -176,6 +186,12 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--self-test") {
       run_self_test = true;
+    } else if (arg == "--cmp-dispatch") {
+      cmp_dispatch = true;
+    } else if (arg == "--code-stores") {
+      options.gen.code_page_stores = true;
+    } else if (arg == "--smc") {
+      options.gen.smc_patch_stores = true;
     } else {
       std::fprintf(stderr, "%s", kUsage);
       return 2;
@@ -200,8 +216,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
+  if (options.gen.smc_patch_stores && !cmp_dispatch) {
+    // Real SMC is not transparent through a stale rcache configuration —
+    // it is only a valid differential against the other dispatch mode.
+    std::fprintf(stderr, "--smc requires --cmp-dispatch\n");
+    return 2;
+  }
 
-  const dim::fuzz::CampaignResult result = dim::fuzz::run_campaign(options);
+  const dim::fuzz::CampaignResult result = cmp_dispatch
+                                               ? dim::fuzz::run_dispatch_campaign(options)
+                                               : dim::fuzz::run_campaign(options);
 
   if (json) {
     dim::fuzz::write_campaign_json(std::cout, result);
