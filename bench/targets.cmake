@@ -34,3 +34,10 @@ add_executable(bench_simulator_micro bench/bench_simulator_micro.cpp)
 target_link_libraries(bench_simulator_micro PRIVATE dimsim)
 target_include_directories(bench_simulator_micro PRIVATE ${CMAKE_SOURCE_DIR})
 set_target_properties(bench_simulator_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Serve-daemon load bench: in-process by default, --connect drives a live
+# dimsim-serve socket, --check dumps responses for determinism diffs.
+add_executable(bench_serve_load bench/bench_serve_load.cpp)
+target_link_libraries(bench_serve_load PRIVATE dimsim)
+target_include_directories(bench_serve_load PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(bench_serve_load PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

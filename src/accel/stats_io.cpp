@@ -1,5 +1,6 @@
 #include "accel/stats_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 
@@ -31,6 +32,14 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void write_json_double(std::ostream& out, double value, int precision) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  out << std::setprecision(precision) << value;
+}
+
 void write_json_fields(std::ostream& out, const AccelStats& stats,
                        const std::string& indent) {
   field(out, indent, "instructions", stats.instructions);
@@ -59,9 +68,11 @@ void write_json_fields(std::ostream& out, const AccelStats& stats,
   field(out, indent, "config_words_loaded", stats.config_words_loaded);
   field(out, indent, "config_words_written", stats.config_words_written);
   field(out, indent, "hit_limit", stats.hit_limit ? 1 : 0);
-  out << indent << "\"ipc\": " << std::setprecision(6) << stats.ipc() << ",\n";
-  out << indent << "\"array_coverage\": " << std::setprecision(6)
-      << stats.array_coverage() << "\n";
+  out << indent << "\"ipc\": ";
+  write_json_double(out, stats.ipc());
+  out << ",\n" << indent << "\"array_coverage\": ";
+  write_json_double(out, stats.array_coverage());
+  out << "\n";
 }
 
 void write_json(std::ostream& out, const AccelStats& stats, const std::string& label) {

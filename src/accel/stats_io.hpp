@@ -22,6 +22,13 @@ void write_json_fields(std::ostream& out, const AccelStats& stats,
 // Minimal JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s);
 
+// Writes a double as a JSON number. JSON has no representation for
+// inf/nan — a bare `inf` (what operator<< would print) poisons the whole
+// document — so non-finite values are encoded as null. Every double in a
+// dimsim JSON document goes through here (e.g. a speedup whose divisor is
+// the zero cycle count of a zero-budget request).
+void write_json_double(std::ostream& out, double value, int precision = 6);
+
 // Multi-line human-readable report.
 void write_report(std::ostream& out, const AccelStats& stats);
 

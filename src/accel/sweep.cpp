@@ -62,10 +62,16 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
   std::vector<SweepResult> results(points.size());
   if (points.empty()) return results;
 
+  const auto canceled = [this]() {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
+
   const unsigned workers =
       static_cast<unsigned>(std::min<size_t>(threads_, points.size()));
   if (workers <= 1) {
     for (size_t i = 0; i < points.size(); ++i) {
+      if (canceled()) throw SweepCanceled();
       results[i] = run_point(points[i], i, options_.collect_profiles,
                              options_.result_cache);
     }
@@ -74,13 +80,19 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
 
   // Work-stealing by atomic index: each slot of `results` is written by
   // exactly one worker, so the only shared mutable state is the counter
-  // (and the error slot, guarded by a mutex).
+  // (and the error slot, guarded by a mutex). After any error no new point
+  // is claimed; already-claimed points finish, so every point below the
+  // erroring index has either completed or recorded its own error — which
+  // makes "rethrow the lowest point index" scheduling-independent.
   std::atomic<size_t> next{0};
+  std::atomic<bool> errored{false};
   std::mutex error_mutex;
-  std::exception_ptr first_error;
+  std::exception_ptr lowest_error;
+  size_t lowest_error_index = 0;
 
   auto worker = [&]() {
     for (;;) {
+      if (errored.load(std::memory_order_relaxed) || canceled()) return;
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
       try {
@@ -88,7 +100,11 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
                                options_.result_cache);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!lowest_error || i < lowest_error_index) {
+          lowest_error = std::current_exception();
+          lowest_error_index = i;
+        }
+        errored.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -97,7 +113,10 @@ std::vector<SweepResult> SweepEngine::run(const std::vector<SweepPoint>& points)
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (lowest_error) std::rethrow_exception(lowest_error);
+  if (canceled() && next.load(std::memory_order_relaxed) < points.size()) {
+    throw SweepCanceled();
+  }
   return results;
 }
 
@@ -109,7 +128,9 @@ void write_sweep_json(std::ostream& out, const std::vector<SweepResult>& results
     out << "      \"index\": " << r.index << ",\n";
     out << "      \"label\": \"" << json_escape(r.label) << "\",\n";
     if (r.has_baseline) {
-      out << "      \"speedup\": " << std::setprecision(6) << r.speedup() << ",\n";
+      out << "      \"speedup\": ";
+      write_json_double(out, r.speedup());
+      out << ",\n";
       out << "      \"transparent\": " << (r.transparent ? "true" : "false") << ",\n";
       out << "      \"baseline\": {\n";
       write_json_fields(out, r.baseline, "        ");

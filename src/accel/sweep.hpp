@@ -9,8 +9,10 @@
 // thread count or completion order. See docs/sweep-engine.md.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -88,6 +90,18 @@ struct SweepOptions {
   // Results are byte-identical with the cache enabled, disabled, or shared
   // across runs and thread counts — it only skips redundant simulation.
   ResultCache* result_cache = nullptr;
+  // Cooperative cancellation (not owned; must outlive run()). Observed
+  // between points: once set, no new point is started and run() throws
+  // SweepCanceled after every in-flight point finished. Cancellation is
+  // best-effort by design — a point already executing runs to completion.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// Thrown by SweepEngine::run when SweepOptions::cancel was observed set
+// before the grid completed. Partial results are discarded.
+class SweepCanceled : public std::runtime_error {
+ public:
+  SweepCanceled() : std::runtime_error("sweep canceled") {}
 };
 
 class SweepEngine {
@@ -97,7 +111,11 @@ class SweepEngine {
   // Runs every point to completion. results[i] always corresponds to
   // points[i]; worker scheduling never shows through. Exceptions thrown by
   // a worker (e.g. a buggy workload asserting) are rethrown here after all
-  // threads joined.
+  // threads joined; when several points throw, the exception from the
+  // LOWEST point index is the one rethrown, so the error a caller sees is
+  // independent of worker scheduling. Throws SweepCanceled when
+  // SweepOptions::cancel fired first (a real point error always wins over
+  // cancellation).
   std::vector<SweepResult> run(const std::vector<SweepPoint>& points) const;
 
   unsigned threads() const { return threads_; }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "accel/stats_io.hpp"
+
 namespace dim::obs {
 
 void ProfileTable::add(const Event& event) {
@@ -124,7 +126,8 @@ void write_profile_json(std::ostream& out, const ProfileTable& table) {
     out << ", \"activations\": " << p.activations;
     out << ", \"committed_ops\": " << p.committed_ops;
     out << ", \"misspeculations\": " << p.misspeculations;
-    out << ", \"misspec_rate\": " << std::setprecision(6) << p.misspec_rate();
+    out << ", \"misspec_rate\": ";
+    accel::write_json_double(out, p.misspec_rate());
     out << ", \"array_cycles\": " << p.array_cycles();
     out << ", \"exec_cycles\": " << p.exec_cycles;
     out << ", \"reconfig_stall_cycles\": " << p.reconfig_stall_cycles;

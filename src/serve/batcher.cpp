@@ -1,0 +1,61 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+
+namespace dim::serve {
+
+rra::ArrayShape shape_by_name(const std::string& name) {
+  if (name == "config1") return rra::ArrayShape::config1();
+  if (name == "config2") return rra::ArrayShape::config2();
+  if (name == "config3") return rra::ArrayShape::config3();
+  if (name == "ideal") return rra::ArrayShape::ideal();
+  throw std::invalid_argument("unknown array shape: " + name);
+}
+
+accel::SystemConfig config_for(const std::string& shape, uint64_t slots,
+                               bool speculation) {
+  return accel::SystemConfig::with(shape_by_name(shape),
+                                   static_cast<size_t>(slots), speculation);
+}
+
+std::vector<accel::SweepPoint> expand_points(const Request& request,
+                                             const asmblr::Program& program) {
+  std::vector<accel::SweepPoint> points;
+  if (request.kind == RequestKind::kRun) {
+    accel::SweepPoint p;
+    p.label = request.shape + "/s" + std::to_string(request.slots) +
+              (request.speculation ? "/sp" : "/ns");
+    p.program = &program;
+    p.config = config_for(request.shape, request.slots, request.speculation);
+    p.run_baseline = request.want_baseline;
+    points.push_back(std::move(p));
+    return points;
+  }
+  for (const std::string& shape : request.shapes) {
+    for (const uint64_t slots : request.slots_axis) {
+      for (const bool spec : request.spec_axis) {
+        accel::SweepPoint p;
+        p.label = shape + "/s" + std::to_string(slots) + (spec ? "/sp" : "/ns");
+        p.program = &program;
+        p.config = config_for(shape, slots, spec);
+        p.run_baseline = request.want_baseline;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<accel::SweepResult> split_slice(
+    const std::vector<accel::SweepResult>& combined, const BatchSlice& slice) {
+  std::vector<accel::SweepResult> out;
+  out.reserve(slice.end - slice.begin);
+  for (size_t i = slice.begin; i < slice.end; ++i) {
+    accel::SweepResult r = combined[i];
+    r.index = i - slice.begin;  // as if the request had run alone
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace dim::serve

@@ -1,0 +1,62 @@
+// Minimal JSON parser for the serving protocol (docs/serving.md).
+//
+// The daemon reads one JSON object per request line from untrusted
+// clients, so parsing must be strict and bounded: recursion depth is
+// capped, every read is bounds-checked, and any malformed byte raises
+// JsonError with the offending offset — the connection then answers with
+// a parse_error response instead of dying. The repo's other JSON code
+// only ever writes; this is the read side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dim::serve {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, size_t offset)
+      : std::runtime_error(what + " (offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered; duplicate keys are a parse error.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; null when absent (or when not an object).
+  const JsonValue* get(std::string_view key) const;
+
+  // True when the number is a non-negative integer representable in
+  // uint64_t (the protocol's ids, budgets and counts are all u64).
+  bool is_u64() const;
+  uint64_t as_u64() const;  // throws JsonError when !is_u64()
+};
+
+// Parses exactly one JSON document; trailing non-whitespace is an error.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace dim::serve

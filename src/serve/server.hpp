@@ -1,0 +1,178 @@
+// The resident simulation service (docs/serving.md).
+//
+// Everything the paper's transparent-acceleration story amortizes —
+// translated configurations, memoized sweep cells, assembled program
+// images — stays warm in one long-lived process. Sessions feed JSONL
+// requests through a bounded admission queue; a dispatcher thread drains
+// the queue in batches, runs every batched grid point through one shared
+// SweepEngine (memoized by a resident snap::ResultStore), executes
+// budgeted runs in run_until checkpoint chunks with cooperative
+// cancellation, and emits responses in per-session admission order.
+//
+// Determinism contract: for a fixed request stream on one session (with a
+// fixed result-store temperature), response bytes are identical for any
+// worker-thread count, any batch composition, and across a daemon restart
+// that kept the store directory — `stats` responses excepted (they report
+// live counters). The load bench's --check mode and the serve CI job pin
+// this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/sweep.hpp"
+#include "asm/program.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "snap/resultstore.hpp"
+
+namespace dim::serve {
+
+struct ServerOptions {
+  // SweepEngine worker pool for batched grids (0 = hardware concurrency).
+  unsigned worker_threads = 0;
+  // Admission bound: requests beyond this are rejected with `overloaded`.
+  size_t queue_capacity = 256;
+  // Max requests merged into one dispatcher batch.
+  size_t batch_max = 32;
+  // Persistence root ("" = fully in-memory): result-store cells go to
+  // <store_dir>/cells, warm-start exports to <store_dir>/warm.
+  std::string store_dir;
+  // run_until chunk for budgeted runs: the cancellation latency bound.
+  uint64_t checkpoint_interval = 1u << 20;
+  // Tests set false and call dispatch_pending() for deterministic control
+  // over when (and in what batches) queued work executes.
+  bool auto_dispatch = true;
+};
+
+struct ServerCounters {
+  uint64_t accepted = 0;           // admitted into the queue
+  uint64_t rejected_overload = 0;  // bounced off the full queue
+  uint64_t rejected_invalid = 0;   // parse/validation failures
+  uint64_t completed = 0;          // responses emitted (any outcome)
+  uint64_t canceled = 0;           // requests answered `canceled`
+  uint64_t batches = 0;            // dispatcher passes with >= 1 grid item
+  uint64_t batched_cells = 0;      // grid points handed to the SweepEngine
+  uint64_t direct_runs = 0;        // budgeted/warm runs outside the engine
+  uint64_t fuzz_campaigns = 0;
+  uint64_t warm_entries = 0;       // resident warm-start pool size
+  uint64_t warm_preloads = 0;
+  uint64_t warm_exports = 0;
+  bool has_store = false;
+  snap::ResultStore::Counters store;
+};
+
+class Server {
+ public:
+  // Serialized per session; called with one complete response line
+  // (including the trailing '\n') in admission order.
+  using ResponseSink = std::function<void(const std::string&)>;
+
+  explicit Server(ServerOptions options);
+  ~Server();  // drains and joins
+
+  class Session : public std::enable_shared_from_this<Session> {
+   public:
+    // Feeds one raw request line; the response arrives on the sink (in
+    // submission order, possibly before this returns for immediate
+    // kinds). Returns false once the server is shutting down — queued
+    // kinds have then been answered with a shutting_down rejection.
+    bool submit(const std::string& line);
+
+    // Blocks until every submitted request has produced its response.
+    void drain();
+
+   private:
+    friend class Server;
+    explicit Session(Server* server, ResponseSink sink);
+
+    uint64_t allocate_seq();
+    void complete(uint64_t seq, std::string response_line);
+    bool is_canceled(const RequestId& id);
+    void mark_canceled(const RequestId& id);
+    void consume_cancel(const RequestId& id);
+
+    Server* server_;
+    ResponseSink sink_;
+    std::mutex mutex_;
+    std::condition_variable drained_;
+    uint64_t next_seq_ = 0;  // next seq to hand out
+    uint64_t emit_seq_ = 0;  // next seq to emit
+    std::map<uint64_t, std::string> ready_;  // completed, waiting for order
+    std::set<std::string> canceled_;         // keyed "s:"/"i:" + id text
+  };
+
+  std::shared_ptr<Session> open_session(ResponseSink sink);
+
+  // Stops accepting, drains the queue, joins the dispatcher. Idempotent.
+  void shutdown();
+  bool shutting_down() const { return shutting_down_.load(); }
+  // Blocks until a shutdown request (or shutdown() call) arrived.
+  void wait_for_shutdown();
+
+  ServerCounters counters() const;
+
+  // Manual-dispatch mode (auto_dispatch == false): drains everything
+  // currently queued in batch_max-sized batches.
+  void dispatch_pending();
+
+ private:
+  struct WorkItem {
+    std::shared_ptr<Session> session;
+    uint64_t seq = 0;
+    Request request;
+  };
+
+  // A cached, already-assembled program plus its lazily computed
+  // unbudgeted baseline (resident across requests).
+  struct ProgramEntry {
+    asmblr::Program program;
+    bool has_baseline = false;
+    accel::AccelStats baseline;
+  };
+
+  void admit(const std::shared_ptr<Session>& session, const std::string& line);
+  void dispatcher_loop();
+  void process_batch(std::vector<WorkItem> items);
+  // Dispatcher-thread only (the cache is not locked).
+  ProgramEntry* resolve_program(const std::shared_ptr<Session>& session,
+                                uint64_t seq, const Request& request);
+  void execute_direct(const WorkItem& item, ProgramEntry& entry);
+  void execute_fuzz(const WorkItem& item);
+  std::string stats_response(const RequestId& id) const;
+
+  // Warm-start pool: payload per (program hash, system fingerprint); the
+  // payload for a key is unique (only halted runs export), so concurrent
+  // writers write identical bytes and the pool stays deterministic.
+  std::vector<uint8_t>* warm_lookup(uint64_t program_hash, uint64_t fingerprint);
+  void warm_insert(uint64_t program_hash, uint64_t fingerprint,
+                   std::vector<uint8_t> payload);
+
+  ServerOptions options_;
+  std::unique_ptr<snap::ResultStore> store_;  // null without store_dir
+  BoundedQueue<WorkItem> queue_;
+  std::atomic<bool> shutting_down_{false};
+  mutable std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+
+  std::map<std::string, ProgramEntry> programs_;  // dispatcher-thread only
+
+  std::mutex warm_mutex_;
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<uint8_t>> warm_pool_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dim::serve

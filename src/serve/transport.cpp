@@ -1,0 +1,217 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dim::serve {
+namespace {
+
+// Whole-buffer send; MSG_NOSIGNAL turns a vanished client into an error
+// return instead of SIGPIPE killing the daemon.
+bool send_all(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Pulls one '\n'-terminated line out of `buffer`, reading more from `fd`
+// as needed. A final unterminated fragment at EOF is returned as a line.
+bool recv_line_fd(int fd, std::string& buffer, std::string& out) {
+  for (;;) {
+    const size_t pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      out.assign(buffer, 0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      if (buffer.empty()) return false;
+      out = std::move(buffer);
+      buffer.clear();
+      return true;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+void serve_stdio(Server& server, std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  auto session = server.open_session([&out, &out_mutex](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << line;
+    out.flush();
+  });
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!session->submit(line)) break;
+  }
+  session->drain();
+}
+
+// --- UnixSocketServer -------------------------------------------------------
+
+UnixSocketServer::UnixSocketServer(Server& server, std::string path)
+    : server_(server), path_(std::move(path)) {}
+
+UnixSocketServer::~UnixSocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+  join_connections();
+}
+
+bool UnixSocketServer::start(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + path_;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  // A previous daemon that died uncleanly leaves the socket file behind;
+  // binding over it is the expected restart path.
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    if (error != nullptr) {
+      *error = std::string("cannot listen on ") + path_ + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void UnixSocketServer::run() {
+  while (!server_.shutting_down()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // shutdown poll interval (ms)
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(
+        {fd, std::thread([this, fd] { handle_connection(fd); })});
+  }
+  join_connections();
+}
+
+void UnixSocketServer::join_connections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (Connection& c : connections_) {
+    // SHUT_RD pops any reader blocked on an idle client out of recv with
+    // EOF; the write side stays open so in-flight responses still land.
+    ::shutdown(c.fd, SHUT_RD);
+  }
+  for (Connection& c : connections_) {
+    if (c.thread.joinable()) c.thread.join();
+    if (c.fd >= 0) ::close(c.fd);
+    c.fd = -1;
+  }
+  connections_.clear();
+}
+
+// The connection fd is owned by run()/join_connections(), not by this
+// thread: closing here would let the fd number be reused while
+// join_connections still holds it.
+void UnixSocketServer::handle_connection(int fd) {
+  auto session = server_.open_session([fd](const std::string& line) {
+    send_all(fd, line.data(), line.size());  // client gone: responses drop
+  });
+  std::string buffer;
+  std::string line;
+  while (recv_line_fd(fd, buffer, line)) {
+    if (line.empty()) continue;
+    if (!session->submit(line)) break;
+  }
+  session->drain();
+  ::shutdown(fd, SHUT_WR);  // client sees EOF once its responses are read
+}
+
+// --- UnixSocketClient -------------------------------------------------------
+
+UnixSocketClient::~UnixSocketClient() { close(); }
+
+bool UnixSocketClient::connect(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (error != nullptr) {
+      *error = std::string("cannot connect to ") + path + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool UnixSocketClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  return send_all(fd_, framed.data(), framed.size());
+}
+
+bool UnixSocketClient::recv_line(std::string& out) {
+  if (fd_ < 0) return false;
+  return recv_line_fd(fd_, buffer_, out);
+}
+
+void UnixSocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace dim::serve

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>  // getpid: temp names must be unique across processes
+
 namespace dim::snap {
 namespace {
 
@@ -126,8 +128,14 @@ void write_artifact_file(const std::string& path, ArtifactKind kind,
                          const std::vector<uint8_t>& payload) {
   // Unique temp name per writer so concurrent stores to the same key never
   // interleave inside one temp file; rename() then publishes atomically.
+  // The pid is part of the name because a counter alone is only unique
+  // within one process — two processes (e.g. daemon workers sharing a
+  // result-store directory) both start their counters at 0 and would open
+  // the same temp file, publishing a torn mix of both payloads.
   static std::atomic<uint64_t> sequence{0};
-  const std::string tmp = path + ".tmp." + std::to_string(sequence.fetch_add(1));
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<uint64_t>(getpid())) + "." +
+                          std::to_string(sequence.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw SnapshotError(SnapErrc::kIo, "cannot create " + tmp);

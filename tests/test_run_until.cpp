@@ -1,0 +1,119 @@
+// AcceleratedSystem::run_until checkpoint semantics.
+//
+// The serving daemon chunks budgeted runs into run_until calls, so the
+// meaning of hit_limit at a checkpoint boundary is load-bearing: it must
+// be true exactly when the machine's own instruction cap stopped the run
+// — never merely because a checkpoint boundary coincided with the current
+// instruction count, and in particular when the boundary EQUALS the cap.
+#include <gtest/gtest.h>
+
+#include "accel/system.hpp"
+#include "asm/assembler.hpp"
+
+namespace dim::accel {
+namespace {
+
+// Halts (syscall 10) after ~1200 retired instructions.
+const char* kLongLoop = R"(
+        .text
+main:   li $t0, 0
+        li $t1, 300
+loop:   addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        li $v0, 10
+        syscall
+)";
+
+asmblr::Program long_loop() { return asmblr::assemble(kLongLoop); }
+
+SystemConfig capped_config(uint64_t cap) {
+  SystemConfig config;
+  config.machine.max_instructions = cap;
+  return config;
+}
+
+TEST(RunUntil, CheckpointBelowCapDoesNotClaimHitLimit) {
+  const auto program = long_loop();
+  AcceleratedSystem system(program, capped_config(1000));
+  const AccelStats stats = system.run_until(200);
+  EXPECT_GE(stats.instructions, 200u);
+  EXPECT_FALSE(stats.final_state.halted);
+  // Stopped by the checkpoint, not by the cap.
+  EXPECT_FALSE(stats.hit_limit);
+}
+
+TEST(RunUntil, BoundaryEqualToCapMeansTheRealCap) {
+  // The regression this pins: a checkpoint boundary placed exactly at the
+  // machine cap must still report hit_limit — the cap genuinely stopped
+  // the run, and a resume could never make progress.
+  const auto program = long_loop();
+  AcceleratedSystem system(program, capped_config(500));
+  const AccelStats stats = system.run_until(500);
+  EXPECT_FALSE(stats.final_state.halted);
+  EXPECT_GE(stats.instructions, 500u);
+  EXPECT_TRUE(stats.hit_limit);
+
+  // A further run_until executes nothing: the cap already fired.
+  const uint64_t at_cap = stats.instructions;
+  const AccelStats resumed = system.run_until(10'000);
+  EXPECT_EQ(resumed.instructions, at_cap);
+  EXPECT_TRUE(resumed.hit_limit);
+  EXPECT_FALSE(resumed.final_state.halted);
+}
+
+TEST(RunUntil, HaltBeforeBoundaryReportsHaltedNotLimit) {
+  const auto program = long_loop();
+  AcceleratedSystem system(program, capped_config(1'000'000));
+  const AccelStats stats = system.run_until(500'000);
+  EXPECT_TRUE(stats.final_state.halted);
+  EXPECT_FALSE(stats.hit_limit);
+  EXPECT_LT(stats.instructions, 500'000u);
+}
+
+TEST(RunUntil, ResumedCheckpointsMatchSingleRun) {
+  // Chunked execution is exactly the single-shot run: same instruction
+  // count, cycles and memory image — the daemon's checkpointing must be
+  // invisible in the response.
+  const auto program = long_loop();
+
+  AcceleratedSystem single(program, capped_config(1'000'000));
+  const AccelStats whole = single.run_until(1'000'000);
+  ASSERT_TRUE(whole.final_state.halted);
+
+  AcceleratedSystem chunked(program, capped_config(1'000'000));
+  AccelStats last;
+  for (uint64_t boundary = 100;; boundary += 100) {
+    last = chunked.run_until(boundary);
+    if (last.final_state.halted || last.hit_limit) break;
+    ASSERT_LT(boundary, 1'000'000u) << "runaway";
+  }
+  EXPECT_TRUE(last.final_state.halted);
+  EXPECT_EQ(last.instructions, whole.instructions);
+  EXPECT_EQ(last.cycles, whole.cycles);
+  EXPECT_EQ(last.memory_hash, whole.memory_hash);
+  EXPECT_EQ(last.final_state.output, whole.final_state.output);
+}
+
+TEST(RunUntil, HitLimitAtCapMatchesPlainRun) {
+  // Checkpointing straight through the cap agrees with run() on the same
+  // capped machine: same stop point, same hit_limit.
+  const auto program = long_loop();
+
+  AcceleratedSystem plain(program, capped_config(300));
+  const AccelStats direct = plain.run();
+  ASSERT_TRUE(direct.hit_limit);
+
+  AcceleratedSystem chunked(program, capped_config(300));
+  AccelStats last;
+  for (uint64_t boundary = 100;; boundary += 100) {
+    last = chunked.run_until(boundary);
+    if (last.final_state.halted || last.hit_limit) break;
+    ASSERT_LT(boundary, 10'000u) << "runaway";
+  }
+  EXPECT_TRUE(last.hit_limit);
+  EXPECT_EQ(last.instructions, direct.instructions);
+  EXPECT_EQ(last.cycles, direct.cycles);
+}
+
+}  // namespace
+}  // namespace dim::accel

@@ -1,0 +1,519 @@
+// The serving subsystem: JSON parsing, protocol validation, the bounded
+// admission queue, and the Server's batching/ordering/overload behavior.
+//
+// Server tests run with auto_dispatch=false and drive dispatch_pending()
+// by hand, so exactly when (and in which batches) queued work executes is
+// under test control — admission-order response sequencing, cancellation
+// of queued work and overload rejection all become deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+namespace dim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- JSON parser -----------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsStringsAndNesting) {
+  const JsonValue doc = parse_json(
+      R"({"a": 1, "b": -2.5e1, "c": "x\ny\u0041", "d": [true, false, null], "e": {"k": "v"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("a")->as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(doc.get("b")->number, -25.0);
+  EXPECT_EQ(doc.get("c")->string, "x\nyA");
+  ASSERT_TRUE(doc.get("d")->is_array());
+  EXPECT_EQ(doc.get("d")->array.size(), 3u);
+  EXPECT_TRUE(doc.get("d")->array[2].is_null());
+  EXPECT_EQ(doc.get("e")->get("k")->string, "v");
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": 01}"), JsonError);      // leading zero
+  EXPECT_THROW(parse_json("{\"a\": 1} extra"), JsonError); // trailing bytes
+  EXPECT_THROW(parse_json("{\"a\": 1, \"a\": 2}"), JsonError);  // dup key
+  EXPECT_THROW(parse_json("\"\\uD800\""), JsonError);  // lone surrogate
+}
+
+TEST(ServeJson, DepthLimitStopsRecursiveBombs) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_THROW(parse_json(deep), JsonError);
+}
+
+TEST(ServeJson, U64BoundaryIsExact) {
+  const JsonValue zero = parse_json("0");
+  ASSERT_TRUE(zero.is_u64());
+  EXPECT_EQ(zero.as_u64(), 0u);
+  EXPECT_FALSE(parse_json("-1").is_u64());
+  EXPECT_FALSE(parse_json("1.5").is_u64());
+  // 2^64 rounds to a double above the representable u64 range.
+  EXPECT_FALSE(parse_json("18446744073709551616").is_u64());
+}
+
+// --- protocol validation ---------------------------------------------------
+
+TEST(ServeProtocol, ParsesRunRequest) {
+  const ParseOutcome o = parse_request(
+      R"({"id": 7, "kind": "run", "workload": "crc32", "shape": "config2", "slots": 16, "spec": false})");
+  ASSERT_TRUE(o.ok) << o.detail;
+  EXPECT_EQ(o.request.kind, RequestKind::kRun);
+  EXPECT_EQ(o.request.id.text, "7");
+  EXPECT_FALSE(o.request.id.is_string);
+  EXPECT_EQ(o.request.workload, "crc32");
+  EXPECT_EQ(o.request.shape, "config2");
+  EXPECT_EQ(o.request.slots, 16u);
+  EXPECT_FALSE(o.request.speculation);
+}
+
+TEST(ServeProtocol, SweepAxesDefaultAndValidate) {
+  const ParseOutcome o = parse_request(
+      R"({"id": "s", "kind": "sweep", "workload": "crc32", "shapes": ["config1", "ideal"]})");
+  ASSERT_TRUE(o.ok) << o.detail;
+  EXPECT_EQ(o.request.shapes.size(), 2u);
+  ASSERT_EQ(o.request.slots_axis.size(), 1u);  // defaulted from `slots`
+  EXPECT_EQ(o.request.slots_axis[0], 64u);
+  ASSERT_EQ(o.request.spec_axis.size(), 1u);
+
+  EXPECT_FALSE(parse_request(
+      R"({"id": 1, "kind": "sweep", "workload": "crc32", "shapes": []})").ok);
+  EXPECT_FALSE(parse_request(
+      R"({"id": 1, "kind": "sweep", "workload": "crc32", "slots_axis": [0]})").ok);
+}
+
+TEST(ServeProtocol, RejectsZeroBudgetWithDedicatedCode) {
+  // The satellite bugfix: a zero budget would simulate nothing and then
+  // divide the speedup by zero cycles; the parser refuses it outright.
+  const ParseOutcome o = parse_request(
+      R"({"id": 9, "kind": "run", "workload": "crc32", "budget": 0})");
+  ASSERT_FALSE(o.ok);
+  EXPECT_EQ(o.error, kErrZeroBudget);
+  EXPECT_EQ(o.id.text, "9");
+}
+
+TEST(ServeProtocol, MalformedRequestsKeepCorrelatableIds) {
+  EXPECT_EQ(parse_request("{nope").error, kErrParse);
+  const ParseOutcome no_id = parse_request(R"({"kind": "ping"})");
+  ASSERT_FALSE(no_id.ok);
+  EXPECT_EQ(no_id.error, kErrBadRequest);
+  const ParseOutcome bad_kind =
+      parse_request(R"({"id": "x", "kind": "transmogrify"})");
+  ASSERT_FALSE(bad_kind.ok);
+  EXPECT_EQ(bad_kind.id.text, "x");  // id recovered before the kind check
+  const ParseOutcome both = parse_request(
+      R"({"id": 1, "kind": "run", "workload": "crc32", "source": "nop"})");
+  EXPECT_FALSE(both.ok);
+}
+
+// --- bounded queue ---------------------------------------------------------
+
+TEST(ServeQueue, CapacityBoundsAdmission) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: the overload signal
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(ServeQueue, CloseDrainsThenReleasesBlockedPop) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));  // closed: no new admissions
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // already-admitted work still drains
+  EXPECT_EQ(v, 7);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    int unused = 0;
+    EXPECT_FALSE(q.pop(unused));  // closed and empty
+    released.store(true);
+  });
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+// --- server ----------------------------------------------------------------
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  ServerOptions manual_options() {
+    ServerOptions o;
+    o.auto_dispatch = false;
+    o.worker_threads = 2;
+    return o;
+  }
+
+  std::shared_ptr<Server::Session> session_into(
+      Server& server, std::vector<std::string>& out) {
+    return server.open_session(
+        [&out](const std::string& line) { out.push_back(line); });
+  }
+};
+
+TEST_F(ServeServerTest, ImmediateKindsAnswerWithoutDispatch) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 1, "kind": "ping"})");
+  session->submit(R"({"id": 2, "kind": "stats"})");
+  session->drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"id\": 1, \"ok\": true, \"kind\": \"pong\"}\n");
+  EXPECT_NE(lines[1].find("\"kind\": \"stats\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ResponsesEmitInAdmissionOrder) {
+  // A queued run sits between two immediate pings: the pings' responses
+  // must wait for the run's, preserving FIFO order on the wire.
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": "p1", "kind": "ping"})");
+  session->submit(R"({"id": "r", "kind": "run", "workload": "crc32"})");
+  session->submit(R"({"id": "p2", "kind": "ping"})");
+  EXPECT_EQ(lines.size(), 1u);  // p2's pong is ready but held for order
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"id\": \"p1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\": \"r\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"transparent\": true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\": \"p2\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, SweepResponseCarriesEveryCell) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(
+      R"({"id": 1, "kind": "sweep", "workload": "crc32", "shapes": ["config1", "config2"], "slots_axis": [16, 64]})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"cells\": 4"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\": \"config1/s16/sp\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\": \"config2/s64/sp\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ResponsesByteIdenticalAcrossWorkerCounts) {
+  // The determinism contract: same request stream, any worker count, same
+  // bytes. Batched grids go through the SweepEngine, whose results are
+  // index-ordered regardless of scheduling.
+  const std::vector<std::string> stream = {
+      R"({"id": 0, "kind": "sweep", "workload": "crc32", "shapes": ["config1", "config2"], "slots_axis": [8, 64]})",
+      R"({"id": 1, "kind": "run", "workload": "bitcount"})",
+      R"({"id": 2, "kind": "run", "workload": "crc32", "budget": 20000})",
+      R"({"id": 3, "kind": "sweep", "workload": "crc32", "spec_axis": [false, true]})",
+  };
+  std::vector<std::string> by_workers[2];
+  int slot = 0;
+  for (unsigned workers : {1u, 4u}) {
+    ServerOptions options = manual_options();
+    options.worker_threads = workers;
+    Server server(options);
+    auto session = session_into(server, by_workers[slot]);
+    for (const std::string& line : stream) session->submit(line);
+    server.dispatch_pending();
+    session->drain();
+    server.shutdown();
+    ++slot;
+  }
+  ASSERT_EQ(by_workers[0].size(), stream.size());
+  EXPECT_EQ(by_workers[0], by_workers[1]);
+}
+
+TEST_F(ServeServerTest, BatchCompositionInvisibleInResponses) {
+  // One-by-one dispatch vs one combined batch: each request's response
+  // depends only on its own slice of the combined grid.
+  const std::vector<std::string> stream = {
+      R"({"id": "a", "kind": "sweep", "workload": "crc32", "slots_axis": [8, 16]})",
+      R"({"id": "b", "kind": "sweep", "workload": "bitcount", "slots_axis": [8, 16]})",
+  };
+  std::vector<std::string> separate;
+  {
+    Server server(manual_options());
+    auto session = session_into(server, separate);
+    for (const std::string& line : stream) {
+      session->submit(line);
+      server.dispatch_pending();  // every request is its own batch
+    }
+    session->drain();
+    server.shutdown();
+  }
+  std::vector<std::string> combined;
+  {
+    Server server(manual_options());
+    auto session = session_into(server, combined);
+    for (const std::string& line : stream) session->submit(line);
+    server.dispatch_pending();  // both drain into one batch
+    session->drain();
+    server.shutdown();
+  }
+  EXPECT_EQ(separate, combined);
+}
+
+TEST_F(ServeServerTest, OverloadRejectsBeyondQueueCapacity) {
+  ServerOptions options = manual_options();
+  options.queue_capacity = 1;
+  Server server(options);
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 0, "kind": "run", "workload": "crc32"})");
+  session->submit(R"({"id": 1, "kind": "run", "workload": "crc32"})");
+  session->submit(R"({"id": 2, "kind": "run", "workload": "crc32"})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"error\": \"overloaded\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"error\": \"overloaded\""), std::string::npos);
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.accepted, 1u);
+  EXPECT_EQ(c.rejected_overload, 2u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, CancelStopsQueuedRequestBeforeDispatch) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": "victim", "kind": "run", "workload": "crc32"})");
+  session->submit(R"({"id": "c", "kind": "cancel", "target": "victim"})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\": \"victim\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"error\": \"canceled\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\": \"cancel\""), std::string::npos);
+  EXPECT_EQ(server.counters().canceled, 1u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, CancelIsConsumedNotSticky) {
+  // After a cancel fires, the same id submitted again must run normally.
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": "x", "kind": "run", "workload": "crc32"})");
+  session->submit(R"({"id": "c", "kind": "cancel", "target": "x"})");
+  server.dispatch_pending();
+  session->submit(R"({"id": "x", "kind": "run", "workload": "crc32"})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"error\": \"canceled\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"transparent\": true"), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, BudgetedRunReportsHitBudget) {
+  // Inline source keeps the budgeted run fast; a small checkpoint interval
+  // exercises the chunked run_until loop, and the chunking must not leak
+  // into the result (hit_budget, not hit_limit).
+  ServerOptions options = manual_options();
+  options.checkpoint_interval = 64;
+  Server server(options);
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(
+      R"({"id": 1, "kind": "run", "source": "main: li $t0, 0\nli $t1, 100000\nloop: addiu $t0, $t0, 1\nbne $t0, $t1, loop\nli $v0, 10\nsyscall\n", "budget": 1000})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"halted\": false"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"hit_budget\": true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"budget\": 1000"), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, WarmRunExportsThenPreloads) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 1, "kind": "run", "workload": "crc32", "warm": true})");
+  server.dispatch_pending();
+  session->submit(R"({"id": 2, "kind": "run", "workload": "crc32", "warm": true})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"warm_exported\": true"), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"warm_preloaded\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"warm_preloaded\""), std::string::npos);
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.warm_exports, 1u);
+  EXPECT_EQ(c.warm_preloads, 1u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, RestartWithPersistedStoreRecomputesNothing) {
+  // Two server lifetimes over one store directory: the second must serve
+  // the identical sweep purely from disk (hits only, zero stores) and
+  // produce byte-identical responses.
+  const std::string dir =
+      (fs::temp_directory_path() / "dimsim-serve-restart-test").string();
+  fs::remove_all(dir);
+  const std::string sweep =
+      R"({"id": "s", "kind": "sweep", "workload": "crc32", "shapes": ["config1", "config2"]})";
+
+  std::vector<std::string> first;
+  {
+    ServerOptions options = manual_options();
+    options.store_dir = dir;
+    Server server(options);
+    auto session = session_into(server, first);
+    session->submit(sweep);
+    server.dispatch_pending();
+    session->drain();
+    const ServerCounters c = server.counters();
+    EXPECT_EQ(c.store.stores, 2u);
+    EXPECT_EQ(c.store.hits, 0u);
+    server.shutdown();
+  }
+
+  std::vector<std::string> second;
+  {
+    ServerOptions options = manual_options();
+    options.store_dir = dir;
+    Server server(options);
+    auto session = session_into(server, second);
+    session->submit(sweep);
+    server.dispatch_pending();
+    session->drain();
+    const ServerCounters c = server.counters();
+    EXPECT_EQ(c.store.hits, 2u);
+    EXPECT_EQ(c.store.misses, 0u);
+    EXPECT_EQ(c.store.stores, 0u);
+    server.shutdown();
+  }
+  EXPECT_EQ(first, second);
+  fs::remove_all(dir);
+}
+
+TEST_F(ServeServerTest, WarmPoolSurvivesRestartOnDisk) {
+  const std::string dir =
+      (fs::temp_directory_path() / "dimsim-serve-warm-restart").string();
+  fs::remove_all(dir);
+  const std::string warm_run =
+      R"({"id": "w", "kind": "run", "workload": "crc32", "warm": true})";
+
+  {
+    ServerOptions options = manual_options();
+    options.store_dir = dir;
+    Server server(options);
+    std::vector<std::string> lines;
+    auto session = session_into(server, lines);
+    session->submit(warm_run);
+    server.dispatch_pending();
+    session->drain();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"warm_exported\": true"), std::string::npos);
+    server.shutdown();
+  }
+  {
+    ServerOptions options = manual_options();
+    options.store_dir = dir;
+    Server server(options);
+    std::vector<std::string> lines;
+    auto session = session_into(server, lines);
+    session->submit(warm_run);
+    server.dispatch_pending();
+    session->drain();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"warm_preloaded\""), std::string::npos)
+        << "restarted daemon did not preload the persisted warm pool";
+    server.shutdown();
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(ServeServerTest, ShutdownRequestDrainsAdmittedWorkThenCloses) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 0, "kind": "run", "workload": "crc32"})");
+  EXPECT_TRUE(session->submit(R"({"id": 1, "kind": "shutdown"})") == false ||
+              server.shutting_down());
+  // Admitted before shutdown: still answered.
+  server.dispatch_pending();
+  // Submitted after shutdown: rejected, not silently dropped.
+  session->submit(R"({"id": 2, "kind": "run", "workload": "crc32"})");
+  session->drain();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\": \"shutdown\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"error\": \"shutting_down\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, UnknownWorkloadAnswersWithErrorCode) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 1, "kind": "run", "workload": "nonesuch"})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\": \"unknown_workload\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, AutoDispatchServesWithoutManualPump) {
+  // The production configuration: dispatcher thread on, no manual pump.
+  ServerOptions options;
+  options.worker_threads = 2;
+  Server server(options);
+  std::vector<std::string> lines;
+  std::mutex mutex;
+  auto session = server.open_session([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    lines.push_back(line);
+  });
+  session->submit(R"({"id": 1, "kind": "run", "workload": "crc32"})");
+  session->drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"transparent\": true"), std::string::npos);
+  }
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ServeFuzzRequestRunsCampaign) {
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(R"({"id": 1, "kind": "fuzz", "seeds": 2})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\": \"fuzz\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"seeds_run\": 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"clean\": true"), std::string::npos);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace dim::serve

@@ -193,5 +193,93 @@ TEST(SweepEngine, ZeroThreadOptionFallsBackToHardware) {
   EXPECT_GE(engine.threads(), 1u);
 }
 
+// A cache whose load() throws for selected labels — stands in for any
+// worker-side failure at a controllable grid position.
+class ThrowingCache : public ResultCache {
+ public:
+  explicit ThrowingCache(std::vector<std::string> throw_labels)
+      : throw_labels_(std::move(throw_labels)) {}
+
+  bool load(const SweepPoint& point, bool, SweepResult&) override {
+    for (const std::string& label : throw_labels_) {
+      if (point.label == label) throw std::runtime_error("boom:" + label);
+    }
+    return false;
+  }
+  void store(const SweepPoint&, bool, const SweepResult&) override {}
+
+ private:
+  std::vector<std::string> throw_labels_;
+};
+
+TEST(SweepEngine, LowestIndexExceptionWinsAcrossThreadCounts) {
+  // Two points throw. Whatever the worker scheduling, the exception the
+  // caller sees must be the one from the lowest grid index — otherwise
+  // the reported error would change run to run under contention.
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  ASSERT_GT(points.size(), 11u);
+  // Deliberately listed high-index first: order in the cache must not matter.
+  ThrowingCache cache({points[11].label, points[2].label});
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.result_cache = &cache;
+    try {
+      SweepEngine(opts).run(points);
+      FAIL() << "expected a rethrown worker exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "boom:" + points[2].label)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepEngine, PointErrorBeatsLaterPointError) {
+  // Sequential (threads=1) sanity for the same contract: the first point
+  // in index order throws, later throwing points are never reached.
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  ThrowingCache cache({points[0].label, points[5].label});
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.result_cache = &cache;
+  try {
+    SweepEngine(opts).run(points);
+    FAIL() << "expected a rethrown worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "boom:" + points[0].label);
+  }
+}
+
+TEST(SweepEngine, PreSetCancelThrowsSweepCanceled) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  std::atomic<bool> cancel{true};
+  for (unsigned threads : {1u, 4u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.cancel = &cancel;
+    EXPECT_THROW(SweepEngine(opts).run(points), SweepCanceled)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SweepEngine, UnsetCancelFlagIsHarmless) {
+  const auto program = asmblr::assemble(kSweepLoop);
+  const auto points = grid_of(program);
+  std::atomic<bool> cancel{false};
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.cancel = &cancel;
+  const auto with_flag = SweepEngine(opts).run(points);
+  const auto without = SweepEngine({4}).run(points);
+  ASSERT_EQ(with_flag.size(), without.size());
+  for (size_t i = 0; i < with_flag.size(); ++i) {
+    EXPECT_EQ(with_flag[i].accelerated.cycles, without[i].accelerated.cycles);
+  }
+}
+
 }  // namespace
 }  // namespace dim::accel

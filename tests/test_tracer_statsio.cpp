@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "accel/stats_io.hpp"
@@ -90,6 +91,32 @@ TEST(StatsIo, JsonEscapeEncodesControlCharacters) {
   EXPECT_EQ(accel::json_escape(std::string("a\x01""b")), "a\\u0001b");
   EXPECT_EQ(accel::json_escape("quote\" slash\\"), "quote\\\" slash\\\\");
   EXPECT_EQ(accel::json_escape("plain"), "plain");  // printable untouched
+}
+
+TEST(StatsIo, NonFiniteDoublesEncodeAsNull) {
+  // Bare `inf`/`nan` tokens are not JSON; any consumer would choke on the
+  // whole document. Non-finite values encode as null instead.
+  std::ostringstream out;
+  accel::write_json_double(out, std::numeric_limits<double>::infinity());
+  out << ' ';
+  accel::write_json_double(out, -std::numeric_limits<double>::infinity());
+  out << ' ';
+  accel::write_json_double(out, std::numeric_limits<double>::quiet_NaN());
+  out << ' ';
+  accel::write_json_double(out, 2.5);
+  EXPECT_EQ(out.str(), "null null null 2.5");
+}
+
+TEST(StatsIo, JsonFieldsStayFiniteForEmptyStats) {
+  // A zero-cycle AccelStats (e.g. a run canceled before its first
+  // checkpoint) must not emit inf/nan for the derived ipc/coverage
+  // fields: the document has to stay machine-parseable.
+  accel::AccelStats st;  // all counters zero
+  std::ostringstream out;
+  accel::write_json_fields(out, st, "");
+  const std::string doc = out.str();
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
 }
 
 TEST(StatsIo, ReportMentionsCoverage) {
