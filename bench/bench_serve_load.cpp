@@ -9,6 +9,15 @@
 //
 // Modes:
 //   (default)        in-process server, workers from --workers
+//   --procs LIST     multi-process scaling mode: for each N in LIST (e.g.
+//                    1,2,4) run the stream through an in-process
+//                    serve::Supervisor with N forked workers and a fresh
+//                    store, compare every response byte-for-byte against
+//                    a single-process reference, and report per-topology
+//                    p50/p99/throughput (warm requests are excluded from
+//                    this stream: concurrent warm exports on different
+//                    workers would make warm_exported/warm_preloaded
+//                    order-dependent)
 //   --connect PATH   drive an already-running dimsim-serve over its socket
 //   --check FILE     also dump every response line (stats excluded) to
 //                    FILE; diffing two dumps pins byte-determinism across
@@ -25,6 +34,7 @@
 // --json PATH (BENCH_serve.json artifact).
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -36,6 +46,7 @@
 #include "bench/bench_util.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/transport.hpp"
 
 namespace {
@@ -50,6 +61,7 @@ struct Options {
   std::string check_path;
   std::string check_pass = "both";
   std::string connect_path;
+  std::vector<int> procs;  // multi-process scaling mode when non-empty
 };
 
 // One request of the replayed stream plus how many grid cells it costs.
@@ -61,7 +73,7 @@ struct StreamEntry {
 // Deterministic mix: half sweeps over two fast workloads, the rest plain,
 // budgeted and warm-started runs. Ids are stable ("q<i>") so two replays
 // of the stream produce byte-identical response dumps.
-std::vector<StreamEntry> build_stream(size_t n) {
+std::vector<StreamEntry> build_stream(size_t n, bool allow_warm = true) {
   std::vector<StreamEntry> stream;
   stream.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -86,8 +98,13 @@ std::vector<StreamEntry> build_stream(size_t n) {
                  "\", \"budget\": 100000}";
         break;
       default:
-        e.line = "{" + id + ", \"kind\": \"run\", \"workload\": \"" + workload +
-                 "\", \"warm\": true}";
+        // Warm runs are order-sensitive across worker processes; the
+        // multi-process stream swaps them for budgeted runs instead.
+        e.line = allow_warm
+                     ? "{" + id + ", \"kind\": \"run\", \"workload\": \"" +
+                           workload + "\", \"warm\": true}"
+                     : "{" + id + ", \"kind\": \"run\", \"workload\": \"" +
+                           workload + "\", \"budget\": 200000}";
         break;
     }
     stream.push_back(std::move(e));
@@ -128,7 +145,7 @@ void finish_pass(PassResult& pass, const std::vector<Clock::time_point>& sent,
 
 // All requests are submitted up front (the pipelined-client shape that
 // actually exercises batching); latency is submit-to-response per request.
-PassResult run_pass_inprocess(dim::serve::Server& server,
+PassResult run_pass_inprocess(dim::serve::SessionHost& server,
                               const std::vector<StreamEntry>& stream) {
   PassResult pass;
   std::mutex mutex;
@@ -200,7 +217,7 @@ StoreCounters parse_store_counters(const std::string& response) {
   return c;
 }
 
-StoreCounters query_stats_inprocess(dim::serve::Server& server) {
+StoreCounters query_stats_inprocess(dim::serve::SessionHost& server) {
   std::string response;
   std::mutex mutex;
   auto session = server.open_session([&](const std::string& line) {
@@ -235,6 +252,96 @@ void write_pass_json(std::ofstream& out, const char* name, const PassResult& p) 
       << ", \"cells_per_sec\": " << p.cells_per_sec << "}";
 }
 
+// Multi-process scaling: one pass per worker count, each against a fresh
+// store, plus a single-process reference pass. Every topology must return
+// byte-identical responses — that is the whole point of the exercise.
+int run_procs_mode(const Options& opt) {
+  const std::vector<StreamEntry> stream =
+      build_stream(opt.requests, /*allow_warm=*/false);
+  size_t total_cells = 0;
+  for (const StreamEntry& e : stream) total_cells += e.cells;
+
+  const std::string store_base = opt.store_dir.empty()
+                                     ? std::string("/tmp/dimsim-bench-serve-procs")
+                                     : opt.store_dir;
+
+  const std::string ref_store = store_base + "-ref";
+  std::filesystem::remove_all(ref_store);
+  PassResult reference;
+  {
+    dim::serve::ServerOptions server_opt;
+    server_opt.worker_threads = opt.workers;
+    server_opt.store_dir = ref_store;
+    dim::serve::Server server(server_opt);
+    reference = run_pass_inprocess(server, stream);
+    server.shutdown();
+  }
+
+  struct Topology {
+    int procs;
+    PassResult pass;
+  };
+  std::vector<Topology> topologies;
+  bool identical = true;
+  for (const int procs : opt.procs) {
+    const std::string store = store_base + "-p" + std::to_string(procs);
+    std::filesystem::remove_all(store);
+    dim::serve::SupervisorOptions sup;
+    sup.workers = procs;
+    sup.store_dir = store;
+    sup.engine_threads = opt.workers;
+    dim::serve::Supervisor supervisor(sup);
+    Topology t{procs, run_pass_inprocess(supervisor, stream)};
+    supervisor.shutdown();
+    if (t.pass.responses != reference.responses) {
+      identical = false;
+      std::fprintf(stderr, "RESPONSE BYTES DIVERGED at procs=%d\n", procs);
+    }
+    topologies.push_back(std::move(t));
+  }
+
+  std::printf("serve load (multi-process): %zu requests (%zu cells)\n",
+              stream.size(), total_cells);
+  std::printf("  reference (1 process): %.2fs  p50 %.2fms  p99 %.2fms  %.1f cells/s\n",
+              reference.seconds, reference.p50_ms, reference.p99_ms,
+              reference.cells_per_sec);
+  for (const Topology& t : topologies) {
+    std::printf("  procs=%d: %.2fs  p50 %.2fms  p99 %.2fms  %.1f cells/s\n",
+                t.procs, t.pass.seconds, t.pass.p50_ms, t.pass.p99_ms,
+                t.pass.cells_per_sec);
+  }
+  std::printf("  response bytes identical across topologies: %s\n",
+              identical ? "yes" : "NO");
+
+  if (!opt.check_path.empty()) {
+    std::vector<PassResult> dump;
+    for (const Topology& t : topologies) dump.push_back(t.pass);
+    dump_check(opt.check_path, dump);
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    out << "{\n  \"bench\": \"serve_load\", \"mode\": \"procs\", \"requests\": "
+        << stream.size() << ", \"cells\": " << total_cells
+        << ", \"host_cpus\": " << std::thread::hardware_concurrency()
+        << ", \"byte_identical\": " << (identical ? "true" : "false")
+        << ",\n";
+    write_pass_json(out, "reference", reference);
+    out << ",\n  \"topologies\": [";
+    for (size_t i = 0; i < topologies.size(); ++i) {
+      const Topology& t = topologies[i];
+      out << (i == 0 ? "" : ", ") << "{\"procs\": " << t.procs
+          << ", \"seconds\": " << t.pass.seconds
+          << ", \"p50_ms\": " << t.pass.p50_ms
+          << ", \"p99_ms\": " << t.pass.p99_ms
+          << ", \"cells_per_sec\": " << t.pass.cells_per_sec << "}";
+    }
+    out << "]\n}\n";
+    std::printf("bench JSON written to %s\n", opt.json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +356,24 @@ int main(int argc, char** argv) {
     else if (arg == "--check") opt.check_path = value();
     else if (arg == "--check-pass") opt.check_pass = value();
     else if (arg == "--connect") opt.connect_path = value();
+    else if (arg == "--procs") {
+      std::string list = value();
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(pos, comma == std::string::npos
+                                                     ? std::string::npos
+                                                     : comma - pos);
+        const long n = std::strtol(tok.c_str(), nullptr, 10);
+        if (n < 1 || n > 64) {
+          std::fprintf(stderr, "--procs entries must be in [1, 64]\n");
+          return 2;
+        }
+        opt.procs.push_back(static_cast<int>(n));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
     else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -259,6 +384,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--check-pass must be cold|warm|both\n");
     return 2;
   }
+
+  if (!opt.procs.empty()) return run_procs_mode(opt);
 
   const std::vector<StreamEntry> stream = build_stream(opt.requests);
   size_t total_cells = 0;

@@ -1,0 +1,48 @@
+// The surface a transport needs from whatever is serving requests.
+//
+// Two implementations exist: serve::Server (single process, PR 7) and
+// serve::Supervisor (pre-forked worker-process pool). Both speak the same
+// JSONL protocol and honor the same session contract — one response line
+// per submitted request, emitted through the sink in per-session
+// admission order — so serve_stdio and UnixSocketServer are written once
+// against this interface and a daemon picks its topology with a flag.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace dim::serve {
+
+class SessionHost {
+ public:
+  // Serialized per session; called with one complete response line
+  // (including the trailing '\n') in admission order.
+  using ResponseSink = std::function<void(const std::string&)>;
+
+  class Session {
+   public:
+    virtual ~Session() = default;
+
+    // Feeds one raw request line; the response arrives on the sink (in
+    // submission order, possibly before this returns for immediate
+    // kinds). Returns false once the host is shutting down — queued
+    // kinds have then been answered with a shutting_down rejection.
+    virtual bool submit(const std::string& line) = 0;
+
+    // Blocks until every submitted request has produced its response.
+    virtual void drain() = 0;
+  };
+
+  virtual ~SessionHost() = default;
+
+  virtual std::shared_ptr<Session> open_session(ResponseSink sink) = 0;
+
+  // Stops accepting, drains admitted work, releases resources. Idempotent.
+  virtual void shutdown() = 0;
+  virtual bool shutting_down() const = 0;
+  // Blocks until a shutdown request (or shutdown() call) arrived.
+  virtual void wait_for_shutdown() = 0;
+};
+
+}  // namespace dim::serve

@@ -1,0 +1,45 @@
+// Supervisor <-> worker framing over a SOCK_STREAM socketpair.
+//
+// Request lines are JSON and may legally contain tabs or any other
+// whitespace, so the wire format is length-prefixed binary frames (u32
+// little-endian payload size, then the payload), not lines. A frame
+// payload is `<type>\t<job id>\t<body>`: type 'J' carries one raw request
+// line supervisor -> worker, type 'R' carries the complete response line
+// worker -> supervisor. Only the first two tabs delimit; the body is
+// opaque bytes.
+//
+// Delivery is at-most-once by construction: recv_frame returns a frame
+// only when every byte of it arrived, and treats a partial frame at EOF
+// (a worker SIGKILLed mid-write) as an error with nothing delivered. The
+// supervisor therefore re-queues exactly the jobs whose response frame
+// never fully landed — a response is either delivered once or not at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dim::serve {
+
+// Sanity bound on one frame; requests are capped at kMaxRequestBytes and
+// responses are bounded by the sweep grid, so anything near this is a
+// framing bug, not data.
+inline constexpr size_t kMaxFrameBytes = 8u << 20;
+
+// False on any error (peer gone, oversized payload). Retries EINTR and
+// suppresses SIGPIPE.
+bool send_frame(int fd, const std::string& payload);
+
+// False on EOF, error, or a partial frame (nothing is delivered then).
+bool recv_frame(int fd, std::string& out);
+
+std::string encode_job_frame(uint64_t job_id, const std::string& line);
+std::string encode_response_frame(uint64_t job_id, const std::string& response);
+
+// False when the payload is not a well-formed frame of the given type.
+bool decode_job_frame(const std::string& payload, uint64_t& job_id,
+                      std::string& line);
+bool decode_response_frame(const std::string& payload, uint64_t& job_id,
+                           std::string& response);
+
+}  // namespace dim::serve

@@ -133,7 +133,11 @@ class Parser {
         fail("unescaped control character in string");
       }
       if (c != '\\') {
-        out.push_back(c);
+        if (static_cast<unsigned char>(c) < 0x80) {
+          out.push_back(c);
+        } else {
+          append_utf8_sequence(static_cast<unsigned char>(c), out);
+        }
         continue;
       }
       const char esc = take();
@@ -151,6 +155,43 @@ class Parser {
           --pos_;
           fail("bad escape");
       }
+    }
+  }
+
+  // Validates a raw (non-escape) multi-byte UTF-8 sequence whose lead
+  // byte was already taken. Truncated sequences, stray continuation
+  // bytes, overlong encodings, surrogates and codepoints past U+10FFFF
+  // are all parse errors — request strings are echoed into responses, so
+  // letting malformed bytes through would corrupt the output stream.
+  void append_utf8_sequence(unsigned char lead, std::string& out) {
+    int len;
+    uint32_t cp;
+    if ((lead & 0xE0) == 0xC0) {
+      len = 2;
+      cp = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 3;
+      cp = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 4;
+      cp = lead & 0x07u;
+    } else {
+      --pos_;
+      fail("invalid UTF-8 in string");
+    }
+    out.push_back(static_cast<char>(lead));
+    for (int i = 1; i < len; ++i) {
+      if (done()) fail("invalid UTF-8 in string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if ((c & 0xC0) != 0x80) fail("invalid UTF-8 in string");
+      ++pos_;
+      cp = (cp << 6) | (c & 0x3Fu);
+      out.push_back(static_cast<char>(c));
+    }
+    static constexpr uint32_t kMinByLen[] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinByLen[len] || cp > 0x10FFFF ||
+        (cp >= 0xD800 && cp <= 0xDFFF)) {
+      fail("invalid UTF-8 in string");
     }
   }
 

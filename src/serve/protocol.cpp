@@ -87,10 +87,32 @@ void parse_point_config(const JsonValue& doc, Request& req) {
   req.want_baseline = get_bool(doc, "baseline", req.want_baseline);
 }
 
+// Optional scheduling fields, legal on every queued kind (run/sweep/fuzz).
+// `deadline_ms: 0` is allowed and means "already expired" — it pins the
+// deadline_expired path deterministically in tests.
+void parse_scheduling(const JsonValue& doc, Request& req) {
+  const uint64_t priority = get_u64(doc, "priority", 0);
+  if (priority > static_cast<uint64_t>(kMaxPriority)) {
+    throw FieldError{"priority must be in [0, 9]"};
+  }
+  req.priority = static_cast<int>(priority);
+  if (const JsonValue* d = doc.get("deadline_ms")) {
+    if (!d->is_u64()) throw FieldError{"deadline_ms must be a non-negative integer"};
+    req.has_deadline = true;
+    req.deadline_ms = d->as_u64();
+  }
+}
+
 }  // namespace
 
 ParseOutcome parse_request(const std::string& line) {
   ParseOutcome outcome;
+  if (line.size() > kMaxRequestBytes) {
+    outcome.error = kErrParse;
+    outcome.detail = "request line exceeds " +
+                     std::to_string(kMaxRequestBytes) + " bytes";
+    return outcome;
+  }
   JsonValue doc;
   try {
     doc = parse_json(line);
@@ -144,6 +166,7 @@ ParseOutcome parse_request(const std::string& line) {
         }
       }
       req.warm = get_bool(doc, "warm", false);
+      parse_scheduling(doc, req);
     } else if (kind == "sweep") {
       req.kind = RequestKind::kSweep;
       parse_program_selection(doc, req);
@@ -182,6 +205,7 @@ ParseOutcome parse_request(const std::string& line) {
       if (req.shapes.empty()) req.shapes.push_back(req.shape);
       if (req.slots_axis.empty()) req.slots_axis.push_back(req.slots);
       if (req.spec_axis.empty()) req.spec_axis.push_back(req.speculation);
+      parse_scheduling(doc, req);
     } else if (kind == "fuzz") {
       req.kind = RequestKind::kFuzz;
       const uint64_t seeds = get_u64(doc, "seeds", 10);
@@ -192,6 +216,7 @@ ParseOutcome parse_request(const std::string& line) {
       if (req.matrix != "quick" && req.matrix != "full") {
         throw FieldError{"matrix must be quick or full"};
       }
+      parse_scheduling(doc, req);
     } else if (kind == "stats") {
       req.kind = RequestKind::kStats;
     } else if (kind == "cancel") {

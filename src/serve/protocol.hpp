@@ -36,9 +36,18 @@ inline constexpr const char* kErrBadRequest = "bad_request";
 inline constexpr const char* kErrUnknownWorkload = "unknown_workload";
 inline constexpr const char* kErrZeroBudget = "zero_budget";
 inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDeadlineExpired = "deadline_expired";
 inline constexpr const char* kErrCanceled = "canceled";
 inline constexpr const char* kErrShuttingDown = "shutting_down";
 inline constexpr const char* kErrInternal = "internal";
+
+// Admission bound on one request line. Inline-source programs fit with
+// room to spare; anything larger is hostile (or a framing bug) and is
+// answered `parse_error` before the JSON parser ever touches it.
+inline constexpr size_t kMaxRequestBytes = 256 * 1024;
+
+// Protocol bound on the `priority` field.
+inline constexpr int kMaxPriority = 9;
 
 // The client-chosen request id, echoed verbatim into the response.
 struct RequestId {
@@ -64,6 +73,15 @@ struct Request {
   bool want_baseline = true;
   uint64_t budget = 0;  // 0 = no per-request budget (machine default cap)
   bool warm = false;    // preload/export the resident warm-start pool
+
+  // scheduling (run/sweep/fuzz). `priority` in [0, kMaxPriority], higher
+  // pops first; `deadline_ms` is a relative admission deadline — if the
+  // request is still queued when a dispatcher picks it up past the
+  // deadline it is answered `deadline_expired` (0 = already expired,
+  // useful for pinning that path deterministically).
+  int priority = 0;
+  bool has_deadline = false;
+  uint64_t deadline_ms = 0;
 
   // sweep axes (cross product; empty axis = the run default above).
   std::vector<std::string> shapes;

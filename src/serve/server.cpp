@@ -12,6 +12,7 @@
 #include "serve/batcher.hpp"
 #include "snap/codec.hpp"
 #include "snap/io.hpp"
+#include "snap/snapshot.hpp"
 #include "snap/warmstart.hpp"
 #include "work/workload.hpp"
 
@@ -107,7 +108,7 @@ Server::Server(ServerOptions options)
 
 Server::~Server() { shutdown(); }
 
-std::shared_ptr<Server::Session> Server::open_session(ResponseSink sink) {
+std::shared_ptr<SessionHost::Session> Server::open_session(ResponseSink sink) {
   return std::shared_ptr<Session>(new Session(this, std::move(sink)));
 }
 
@@ -170,6 +171,7 @@ std::string Server::stats_response(const RequestId& id) const {
       << ", \"accepted\": " << c.accepted
       << ", \"rejected_overload\": " << c.rejected_overload
       << ", \"rejected_invalid\": " << c.rejected_invalid
+      << ", \"rejected_deadline\": " << c.rejected_deadline
       << ", \"completed\": " << c.completed
       << ", \"canceled\": " << c.canceled
       << ", \"batches\": " << c.batches
@@ -248,8 +250,17 @@ void Server::admit(const std::shared_ptr<Session>& session, const std::string& l
   WorkItem item;
   item.session = session;
   item.seq = seq;
+  ScheduleKey key;
+  key.priority = req.priority;
+  if (req.has_deadline) {
+    key.has_deadline = true;
+    key.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(req.deadline_ms);
+    item.has_deadline = true;
+    item.deadline = key.deadline;
+  }
   item.request = std::move(req);
-  if (!queue_.try_push(std::move(item))) {
+  if (!queue_.try_push(std::move(item), key)) {
     std::ostringstream out;
     const bool closing = shutting_down();
     write_error_response(out, id,
@@ -320,6 +331,21 @@ void Server::process_batch(std::vector<WorkItem> items) {
       {
         std::lock_guard<std::mutex> lock(counters_mutex_);
         ++counters_.canceled;
+      }
+      item.session->complete(item.seq, out.str());
+      continue;
+    }
+    // Expiry is judged here, at pickup, not in the queue: the request is
+    // rejected exactly once, with a response. `>=` makes deadline_ms: 0
+    // expire unconditionally (admission time is the deadline), which is
+    // what pins this path deterministically in tests.
+    if (item.has_deadline && std::chrono::steady_clock::now() >= item.deadline) {
+      std::ostringstream out;
+      write_error_response(out, req.id, kErrDeadlineExpired,
+                           "deadline passed before dispatch");
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.rejected_deadline;
       }
       item.session->complete(item.seq, out.str());
       continue;
@@ -465,6 +491,23 @@ void Server::execute_direct(const WorkItem& item, ProgramEntry& entry) {
     }
   }
 
+  // Migration resume (worker processes): restore a prior checkpoint's
+  // snapshot AFTER the warm preload — the preload already set
+  // `warm_preloaded` exactly as the uncrashed run did, and the restore
+  // then replaces simulator state wholesale, so the finished response is
+  // byte-identical to a run that never migrated. A payload that fails to
+  // restore (foreign program/config) is discarded: cold restart, same
+  // bytes, just more work.
+  if (hooks_.resume) {
+    const std::vector<uint8_t> payload = hooks_.resume(req);
+    if (!payload.empty()) {
+      try {
+        snap::restore_snapshot_payload(system, payload, entry.program);
+      } catch (const snap::SnapshotError&) {
+      }
+    }
+  }
+
   // Budgeted execution: run_until checkpoint chunks bound how long a
   // cancellation can go unnoticed. Shutdown deliberately does NOT stop
   // the loop: admitted work drains to a complete response (the drain
@@ -488,6 +531,9 @@ void Server::execute_direct(const WorkItem& item, ProgramEntry& entry) {
     stats = system.run_until(boundary);
     if (stats.final_state.halted || stats.hit_limit) break;
     if (stats.instructions == done) break;  // no forward progress: stop
+    if (hooks_.checkpoint && stats.instructions < budget) {
+      hooks_.checkpoint(req, snap::encode_snapshot(system, entry.program));
+    }
   }
   if (canceled) {
     std::ostringstream out;

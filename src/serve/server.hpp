@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -31,6 +32,7 @@
 
 #include "accel/sweep.hpp"
 #include "asm/program.hpp"
+#include "serve/host.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "snap/resultstore.hpp"
@@ -58,6 +60,7 @@ struct ServerCounters {
   uint64_t accepted = 0;           // admitted into the queue
   uint64_t rejected_overload = 0;  // bounced off the full queue
   uint64_t rejected_invalid = 0;   // parse/validation failures
+  uint64_t rejected_deadline = 0;  // expired before a dispatcher picked them up
   uint64_t completed = 0;          // responses emitted (any outcome)
   uint64_t canceled = 0;           // requests answered `canceled`
   uint64_t batches = 0;            // dispatcher passes with >= 1 grid item
@@ -71,25 +74,35 @@ struct ServerCounters {
   snap::ResultStore::Counters store;
 };
 
-class Server {
+// Hooks a wrapping process (serve::worker_main) installs so budgeted runs
+// survive the process: `resume` supplies a prior checkpoint's snapshot
+// payload (empty = cold start, taken BEFORE the budget loop but AFTER the
+// warm preload so `warm_preloaded` matches the uncrashed run), and
+// `checkpoint` receives a fresh snapshot payload after every run_until
+// chunk that did not finish the request. Dispatcher-thread only.
+struct MigrationHooks {
+  std::function<std::vector<uint8_t>(const Request&)> resume;
+  std::function<void(const Request&, const std::vector<uint8_t>&)> checkpoint;
+};
+
+class Server : public SessionHost {
  public:
-  // Serialized per session; called with one complete response line
-  // (including the trailing '\n') in admission order.
-  using ResponseSink = std::function<void(const std::string&)>;
+  using ResponseSink = SessionHost::ResponseSink;
 
   explicit Server(ServerOptions options);
-  ~Server();  // drains and joins
+  ~Server() override;  // drains and joins
 
-  class Session : public std::enable_shared_from_this<Session> {
+  class Session : public SessionHost::Session,
+                  public std::enable_shared_from_this<Session> {
    public:
     // Feeds one raw request line; the response arrives on the sink (in
     // submission order, possibly before this returns for immediate
     // kinds). Returns false once the server is shutting down — queued
     // kinds have then been answered with a shutting_down rejection.
-    bool submit(const std::string& line);
+    bool submit(const std::string& line) override;
 
     // Blocks until every submitted request has produced its response.
-    void drain();
+    void drain() override;
 
    private:
     friend class Server;
@@ -111,13 +124,13 @@ class Server {
     std::set<std::string> canceled_;         // keyed "s:"/"i:" + id text
   };
 
-  std::shared_ptr<Session> open_session(ResponseSink sink);
+  std::shared_ptr<SessionHost::Session> open_session(ResponseSink sink) override;
 
   // Stops accepting, drains the queue, joins the dispatcher. Idempotent.
-  void shutdown();
-  bool shutting_down() const { return shutting_down_.load(); }
+  void shutdown() override;
+  bool shutting_down() const override { return shutting_down_.load(); }
   // Blocks until a shutdown request (or shutdown() call) arrived.
-  void wait_for_shutdown();
+  void wait_for_shutdown() override;
 
   ServerCounters counters() const;
 
@@ -125,11 +138,17 @@ class Server {
   // currently queued in batch_max-sized batches.
   void dispatch_pending();
 
+  // Manual-dispatch mode only (worker processes): no locking, the caller
+  // owns the dispatch thread.
+  void set_migration_hooks(MigrationHooks hooks) { hooks_ = std::move(hooks); }
+
  private:
   struct WorkItem {
     std::shared_ptr<Session> session;
     uint64_t seq = 0;
     Request request;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   // A cached, already-assembled program plus its lazily computed
@@ -159,7 +178,8 @@ class Server {
 
   ServerOptions options_;
   std::unique_ptr<snap::ResultStore> store_;  // null without store_dir
-  BoundedQueue<WorkItem> queue_;
+  AdmissionQueue<WorkItem> queue_;
+  MigrationHooks hooks_;
   std::atomic<bool> shutting_down_{false};
   mutable std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;

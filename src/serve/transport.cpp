@@ -54,7 +54,7 @@ bool recv_line_fd(int fd, std::string& buffer, std::string& out) {
 
 }  // namespace
 
-void serve_stdio(Server& server, std::istream& in, std::ostream& out) {
+void serve_stdio(SessionHost& server, std::istream& in, std::ostream& out) {
   std::mutex out_mutex;
   auto session = server.open_session([&out, &out_mutex](const std::string& line) {
     std::lock_guard<std::mutex> lock(out_mutex);
@@ -71,7 +71,7 @@ void serve_stdio(Server& server, std::istream& in, std::ostream& out) {
 
 // --- UnixSocketServer -------------------------------------------------------
 
-UnixSocketServer::UnixSocketServer(Server& server, std::string path)
+UnixSocketServer::UnixSocketServer(SessionHost& server, std::string path)
     : server_(server), path_(std::move(path)) {}
 
 UnixSocketServer::~UnixSocketServer() {

@@ -1,4 +1,4 @@
-// Transports that move protocol lines in and out of a serve::Server.
+// Transports that move protocol lines in and out of a SessionHost.
 //
 // Two transports share every byte of server logic: serve_stdio drives one
 // session over an istream/ostream pair (CI pipes, quick local use), and
@@ -15,14 +15,14 @@
 #include <thread>
 #include <vector>
 
-#include "serve/server.hpp"
+#include "serve/host.hpp"
 
 namespace dim::serve {
 
 // Feeds `in` line-by-line into one session and writes responses to `out`
 // (flushed per line). Returns when the input reaches EOF or the server
 // begins shutting down; all submitted requests have been answered.
-void serve_stdio(Server& server, std::istream& in, std::ostream& out);
+void serve_stdio(SessionHost& server, std::istream& in, std::ostream& out);
 
 // SOCK_STREAM listener on a filesystem path. start() binds (replacing a
 // stale socket file left by a dead daemon), run() accepts until the
@@ -30,7 +30,7 @@ void serve_stdio(Server& server, std::istream& in, std::ostream& out);
 // the path.
 class UnixSocketServer {
  public:
-  UnixSocketServer(Server& server, std::string path);
+  UnixSocketServer(SessionHost& server, std::string path);
   ~UnixSocketServer();
 
   UnixSocketServer(const UnixSocketServer&) = delete;
@@ -53,7 +53,7 @@ class UnixSocketServer {
   // Unblocks readers stuck on idle clients (SHUT_RD), joins, closes.
   void join_connections();
 
-  Server& server_;
+  SessionHost& server_;
   std::string path_;
   int listen_fd_ = -1;
   std::mutex connections_mutex_;

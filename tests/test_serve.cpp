@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -53,6 +55,32 @@ TEST(ServeJson, DepthLimitStopsRecursiveBombs) {
   std::string deep;
   for (int i = 0; i < 200; ++i) deep += "[";
   EXPECT_THROW(parse_json(deep), JsonError);
+}
+
+TEST(ServeJson, RejectsInvalidUtf8Sequences) {
+  // Raw (unescaped) multi-byte sequences are validated inline; a string
+  // that is not well-formed UTF-8 must never survive into a response.
+  EXPECT_THROW(parse_json("\"abc\xC3\""), JsonError);    // truncated 2-byte
+  EXPECT_THROW(parse_json("\"\x80x\""), JsonError);      // stray continuation
+  EXPECT_THROW(parse_json("\"\xC3(\""), JsonError);      // bad continuation
+  EXPECT_THROW(parse_json("\"\xC0\xAF\""), JsonError);   // overlong '/'
+  EXPECT_THROW(parse_json("\"\xE0\x80\x80\""), JsonError);  // overlong NUL
+  EXPECT_THROW(parse_json("\"\xED\xA0\x80\""), JsonError);  // raw surrogate
+  EXPECT_THROW(parse_json("\"\xF4\x90\x80\x80\""), JsonError);  // > U+10FFFF
+  EXPECT_THROW(parse_json("\"\xFF\""), JsonError);       // invalid lead byte
+  // Well-formed 2/3/4-byte sequences pass through byte-for-byte.
+  const JsonValue ok = parse_json("\"\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80\"");
+  EXPECT_EQ(ok.string, "\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+}
+
+TEST(ServeJson, RejectsNonFiniteNumberLiterals) {
+  // JSON has no NaN/Infinity; accepting them would put unprintable
+  // numbers into responses and break round-tripping.
+  EXPECT_THROW(parse_json("NaN"), JsonError);
+  EXPECT_THROW(parse_json("Infinity"), JsonError);
+  EXPECT_THROW(parse_json("-Infinity"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": nan}"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": inf}"), JsonError);
 }
 
 TEST(ServeJson, U64BoundaryIsExact) {
@@ -119,6 +147,69 @@ TEST(ServeProtocol, MalformedRequestsKeepCorrelatableIds) {
   EXPECT_FALSE(both.ok);
 }
 
+TEST(ServeProtocol, AdversarialLinesPinTheParseErrorCode) {
+  // The adversarial corpus: every hostile input class maps to the same
+  // stable `parse_error` code (clients retry/log on codes, not prose).
+  const auto expect_parse_error = [](const std::string& line) {
+    const ParseOutcome o = parse_request(line);
+    ASSERT_FALSE(o.ok) << line.substr(0, 80);
+    EXPECT_EQ(o.error, kErrParse) << line.substr(0, 80);
+  };
+  // Oversized line: rejected on length alone, before any JSON work.
+  std::string big = R"({"id": 1, "kind": "run", "workload": ")";
+  big += std::string(kMaxRequestBytes, 'x');
+  big += "\"}";
+  {
+    const ParseOutcome o = parse_request(big);
+    ASSERT_FALSE(o.ok);
+    EXPECT_EQ(o.error, kErrParse);
+    EXPECT_NE(o.detail.find("exceeds"), std::string::npos);
+  }
+  // Depth bomb.
+  std::string bomb = R"({"id": 1, "kind": "run", "workload": )";
+  for (int i = 0; i < 200; ++i) bomb += "[";
+  expect_parse_error(bomb);
+  // Duplicate keys: ambiguous requests are refused, not last-wins.
+  expect_parse_error(R"({"id": 1, "id": 2, "kind": "ping"})");
+  // Truncated UTF-8 mid-string.
+  expect_parse_error("{\"id\": 1, \"kind\": \"run\", \"workload\": \"crc\xC3\"}");
+  // Non-finite number literals.
+  expect_parse_error(R"({"id": 1, "kind": "run", "workload": "crc32", "budget": NaN})");
+  expect_parse_error(R"({"id": 1, "kind": "run", "workload": "crc32", "budget": Infinity})");
+  // Truncated document / raw control byte inside a string.
+  expect_parse_error(R"({"id": 1, "kind": "run", "workload": "crc)");
+  expect_parse_error("{\"id\": 1, \"kind\": \"run\", \"workload\": \"a\x01b\"}");
+}
+
+TEST(ServeProtocol, ParsesSchedulingFields) {
+  const ParseOutcome o = parse_request(
+      R"({"id": 1, "kind": "run", "workload": "crc32", "priority": 9, "deadline_ms": 250})");
+  ASSERT_TRUE(o.ok) << o.detail;
+  EXPECT_EQ(o.request.priority, 9);
+  EXPECT_TRUE(o.request.has_deadline);
+  EXPECT_EQ(o.request.deadline_ms, 250u);
+  const ParseOutcome d = parse_request(
+      R"({"id": 2, "kind": "sweep", "workload": "crc32", "shapes": ["config1"]})");
+  ASSERT_TRUE(d.ok) << d.detail;
+  EXPECT_EQ(d.request.priority, 0);       // default: lowest urgency
+  EXPECT_FALSE(d.request.has_deadline);   // default: no deadline
+}
+
+TEST(ServeProtocol, RejectsOutOfRangeSchedulingFields) {
+  const ParseOutcome high = parse_request(
+      R"({"id": 1, "kind": "run", "workload": "crc32", "priority": 10})");
+  ASSERT_FALSE(high.ok);
+  EXPECT_EQ(high.error, kErrBadRequest);
+  const ParseOutcome negative = parse_request(
+      R"({"id": 1, "kind": "run", "workload": "crc32", "deadline_ms": -5})");
+  ASSERT_FALSE(negative.ok);
+  EXPECT_EQ(negative.error, kErrBadRequest);
+  const ParseOutcome text = parse_request(
+      R"({"id": 1, "kind": "run", "workload": "crc32", "deadline_ms": "soon"})");
+  ASSERT_FALSE(text.ok);
+  EXPECT_EQ(text.error, kErrBadRequest);
+}
+
 // --- bounded queue ---------------------------------------------------------
 
 TEST(ServeQueue, CapacityBoundsAdmission) {
@@ -150,6 +241,96 @@ TEST(ServeQueue, CloseDrainsThenReleasesBlockedPop) {
   EXPECT_TRUE(released.load());
 }
 
+TEST(ServeQueue, AdmissionPopOrderIsEdfWithinStrictPriority) {
+  // Pop order is a pure function of the pushed (key, order) pairs:
+  // priority dominates, EDF within a priority, deadline-less items after
+  // every deadlined one, admission order as the final tiebreak.
+  AdmissionQueue<int> q(16);
+  const auto now = std::chrono::steady_clock::now();
+  const auto key = [&now](int priority, int deadline_ms) {
+    ScheduleKey k;
+    k.priority = priority;
+    if (deadline_ms >= 0) {
+      k.has_deadline = true;
+      k.deadline = now + std::chrono::milliseconds(deadline_ms);
+    }
+    return k;
+  };
+  ASSERT_TRUE(q.try_push(1, key(0, 10)));    // low priority, early deadline
+  ASSERT_TRUE(q.try_push(2, key(5, 500)));   // high priority, late deadline
+  ASSERT_TRUE(q.try_push(3, key(5, 100)));   // high priority, early deadline
+  ASSERT_TRUE(q.try_push(4, key(5, -1)));    // high priority, no deadline
+  ASSERT_TRUE(q.try_push(5, key(0, -1)));    // low priority, no deadline
+  ASSERT_TRUE(q.try_push(6, key(5, 100)));   // ties 3: admission order wins
+  std::vector<int> order;
+  int v = 0;
+  while (q.try_pop(v)) order.push_back(v);
+  EXPECT_EQ(order, (std::vector<int>{3, 6, 2, 4, 1, 5}));
+}
+
+TEST(ServeQueue, AdmissionQueueBoundsAndCloseDrain) {
+  AdmissionQueue<int> q(2);
+  const ScheduleKey k;
+  EXPECT_TRUE(q.try_push(1, k));
+  EXPECT_TRUE(q.try_push(2, k));
+  EXPECT_FALSE(q.try_push(3, k));  // full: the overload signal
+  q.close();
+  EXPECT_FALSE(q.try_push(4, k));  // closed: no new admissions
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));   // already-admitted work still drains
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_FALSE(q.pop(v));  // closed and empty
+}
+
+TEST(ServeQueue, AdmissionMpmcStressLosesNothing) {
+  // Contention harness (runs under TSan in CI): several producers spin on
+  // a deliberately tiny queue while several consumers drain it. Every
+  // item pushed must pop exactly once, and close() must release every
+  // blocked consumer after the drain.
+  AdmissionQueue<uint64_t> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<uint64_t> pushed_sum{0};
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<uint64_t> popped_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &pushed_sum, p] {
+      const auto now = std::chrono::steady_clock::now();
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t item =
+            (static_cast<uint64_t>(p) << 32) | static_cast<uint64_t>(i);
+        ScheduleKey key;
+        key.priority = i % 10;
+        if (i % 3 == 0) {
+          key.has_deadline = true;
+          key.deadline = now + std::chrono::milliseconds(i % 50);
+        }
+        while (!q.try_push(item, key)) std::this_thread::yield();
+        pushed_sum.fetch_add(item);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &popped_sum, &popped_count] {
+      uint64_t item = 0;
+      while (q.pop(item)) {
+        popped_sum.fetch_add(item);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped_count.load(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 // --- server ----------------------------------------------------------------
 
 class ServeServerTest : public ::testing::Test {
@@ -161,7 +342,7 @@ class ServeServerTest : public ::testing::Test {
     return o;
   }
 
-  std::shared_ptr<Server::Session> session_into(
+  std::shared_ptr<SessionHost::Session> session_into(
       Server& server, std::vector<std::string>& out) {
     return server.open_session(
         [&out](const std::string& line) { out.push_back(line); });
@@ -291,6 +472,62 @@ TEST_F(ServeServerTest, OverloadRejectsBeyondQueueCapacity) {
   const ServerCounters c = server.counters();
   EXPECT_EQ(c.accepted, 1u);
   EXPECT_EQ(c.rejected_overload, 2u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ExpiredDeadlineRejectsAtDispatchWithDedicatedCode) {
+  // `deadline_ms: 0` is already expired the instant it is admitted (the
+  // dispatcher's check is `now >= deadline`), which makes the rejection
+  // deterministic without sleeping. The code is distinct from both
+  // `overloaded` and `canceled`: the client asked for a bound and the
+  // server could not meet it.
+  Server server(manual_options());
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(
+      R"({"id": "late", "kind": "run", "workload": "crc32", "deadline_ms": 0})");
+  session->submit(R"({"id": "ok", "kind": "run", "workload": "crc32"})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\": \"late\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"error\": \"deadline_expired\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\": true"), std::string::npos);
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.rejected_deadline, 1u);
+  EXPECT_EQ(c.accepted, 2u);  // admitted, then expired at dispatch
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, SchedulingOrdersExecutionNotResponses) {
+  // EDF-within-priority is about *execution* order; responses still emit
+  // in admission order. Execution order is made observable through the
+  // warm pool: with batch_max=1, the first warm run to execute exports
+  // and every later one preloads. Admitted low-priority first, it must
+  // nonetheless preload — the high-priority deadlined run ran before it.
+  ServerOptions options = manual_options();
+  options.batch_max = 1;  // one job per batch, so batches execute in pop order
+  Server server(options);
+  std::vector<std::string> lines;
+  auto session = session_into(server, lines);
+  session->submit(
+      R"({"id": "first", "kind": "run", "workload": "crc32", "warm": true, "priority": 0})");
+  session->submit(
+      R"({"id": "urgent", "kind": "run", "workload": "crc32", "warm": true, "priority": 9, "deadline_ms": 60000})");
+  session->submit(
+      R"({"id": "soon", "kind": "run", "workload": "crc32", "warm": true, "priority": 9})");
+  server.dispatch_pending();
+  session->drain();
+  ASSERT_EQ(lines.size(), 3u);
+  // Wire order is admission order...
+  EXPECT_NE(lines[0].find("\"id\": \"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\": \"urgent\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\": \"soon\""), std::string::npos);
+  // ...but execution order was urgent (p9 + deadline), soon (p9), first (p0).
+  EXPECT_NE(lines[1].find("\"warm_exported\": true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"warm_preloaded\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"warm_preloaded\""), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"warm_exported\""), std::string::npos);
   server.shutdown();
 }
 

@@ -1,0 +1,255 @@
+// Chaos harness for the pre-forked serving pool (src/serve/supervisor.hpp).
+//
+// The contract under test is brutal on purpose: a Supervisor whose workers
+// are being SIGKILLed at random must still answer every admitted request
+// exactly once, with response bytes identical to a single-process Server
+// that was never touched. Budgeted runs additionally prove the migration
+// path — a job killed mid-run resumes from its run_until checkpoint on a
+// fresh worker and the seams must not show in the response.
+//
+// Requests here deliberately avoid `warm`, `stats` and deadlines: warm
+// export/preload flags depend on cross-worker timing, stats are
+// topology-specific by design, and a deadline could legitimately expire
+// under kill-loop scheduling jitter. Everything else must be bit-stable.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/server.hpp"
+#include "serve/supervisor.hpp"
+
+namespace dim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A long-running budgeted source: the loop bound is far beyond any budget
+// used below, so every such run ends with hit_budget and exercises many
+// run_until chunks (and thus many migration checkpoints).
+constexpr const char* kLongBudgetRun =
+    R"({"id": %ID%, "kind": "run", "source": "main: li $t0, 0\nli $t1, 1000000000\nloop: addiu $t0, $t0, 1\nbne $t0, $t1, loop\nli $v0, 10\nsyscall\n", "budget": %BUDGET%})";
+
+std::string budget_run(const std::string& id, uint64_t budget) {
+  std::string line = kLongBudgetRun;
+  line.replace(line.find("%ID%"), 4, id);
+  line.replace(line.find("%BUDGET%"), 8, std::to_string(budget));
+  return line;
+}
+
+// The oracle: the same stream against an untouched single-process Server.
+std::vector<std::string> reference_responses(
+    const std::vector<std::string>& stream, uint64_t checkpoint_interval,
+    const std::string& store_dir) {
+  ServerOptions options;
+  options.auto_dispatch = false;
+  options.worker_threads = 2;
+  options.checkpoint_interval = checkpoint_interval;
+  options.store_dir = store_dir;
+  Server server(options);
+  std::vector<std::string> lines;
+  auto session = server.open_session(
+      [&lines](const std::string& line) { lines.push_back(line); });
+  for (const std::string& line : stream) {
+    session->submit(line);
+    server.dispatch_pending();
+  }
+  session->drain();
+  server.shutdown();
+  return lines;
+}
+
+void wait_for_restarts(const Supervisor& supervisor, uint64_t at_least) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (supervisor.counters().worker_restarts < at_least &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(ServeChaos, KillLoopByteIdentity) {
+  const std::string base =
+      (fs::temp_directory_path() / "dimsim-serve-chaos-kill").string();
+  fs::remove_all(base);
+  constexpr uint64_t kCheckpointInterval = 20000;
+
+  // Three concurrent sessions with distinct mixes: sweeps (shared-store
+  // memoization races), plain runs, chunked budgeted runs, and a fuzz
+  // campaign (deterministic by seed).
+  const std::vector<std::vector<std::string>> streams = {
+      {
+          R"({"id": "a0", "kind": "sweep", "workload": "crc32", "slots_axis": [8, 16]})",
+          R"({"id": "a1", "kind": "run", "workload": "bitcount"})",
+          budget_run(R"("a2")", 300000),
+          R"({"id": "a3", "kind": "sweep", "workload": "bitcount", "slots_axis": [8, 16]})",
+          budget_run(R"("a4")", 200000),
+          R"({"id": "a5", "kind": "run", "workload": "crc32"})",
+      },
+      {
+          budget_run(R"("b0")", 400000),
+          R"({"id": "b1", "kind": "run", "workload": "crc32"})",
+          budget_run(R"("b2")", 250000),
+          R"({"id": "b3", "kind": "run", "workload": "nonesuch"})",
+          budget_run(R"("b4")", 350000),
+          R"({"id": "b5", "kind": "ping"})",
+      },
+      {
+          R"({"id": "c0", "kind": "fuzz", "seeds": 2})",
+          R"({"id": "c1", "kind": "sweep", "workload": "crc32", "shapes": ["config1", "config2"]})",
+          budget_run(R"("c2")", 300000),
+          R"({"id": "c3", "kind": "run", "workload": "bitcount"})",
+          budget_run(R"("c4")", 200000),
+          R"({"id": "c5", "kind": "run", "workload": "crc32"})",
+      },
+  };
+
+  std::vector<std::vector<std::string>> reference(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    reference[i] = reference_responses(streams[i], kCheckpointInterval,
+                                       base + "/ref-" + std::to_string(i));
+  }
+
+  SupervisorOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  options.store_dir = base + "/pool";
+  options.checkpoint_interval = kCheckpointInterval;
+  options.engine_threads = 2;
+  Supervisor supervisor(options);
+
+  // The kill loop: SIGKILL a random live worker every few milliseconds
+  // while the sessions are in flight.
+  std::atomic<bool> clients_done{false};
+  std::thread killer([&supervisor, &clients_done] {
+    std::mt19937 rng(0x5eed);
+    std::uniform_int_distribution<int> wait_ms(5, 25);
+    int kills = 0;
+    while (!clients_done.load() && kills < 60) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms(rng)));
+      const std::vector<pid_t> pids = supervisor.worker_pids();
+      if (pids.empty()) continue;
+      std::uniform_int_distribution<size_t> pick(0, pids.size() - 1);
+      if (::kill(pids[pick(rng)], SIGKILL) == 0) ++kills;
+    }
+  });
+
+  std::vector<std::vector<std::string>> got(streams.size());
+  std::vector<std::thread> clients;
+  clients.reserve(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    clients.emplace_back([&supervisor, &streams, &got, i] {
+      auto session = supervisor.open_session(
+          [&got, i](const std::string& line) { got[i].push_back(line); });
+      for (const std::string& line : streams[i]) session->submit(line);
+      session->drain();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  clients_done.store(true);
+  killer.join();
+
+  // The random kills almost certainly hit, but make the restart path
+  // deterministic: kill one live worker now (the pool is idle but alive)
+  // and wait for the supervisor to reap and replace it.
+  const uint64_t restarts_before = supervisor.counters().worker_restarts;
+  const std::vector<pid_t> pids = supervisor.worker_pids();
+  ASSERT_FALSE(pids.empty()) << "pool died entirely";
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+  wait_for_restarts(supervisor, restarts_before + 1);
+
+  const SupervisorCounters c = supervisor.counters();
+  supervisor.shutdown();
+
+  for (size_t i = 0; i < streams.size(); ++i) {
+    ASSERT_EQ(got[i].size(), streams[i].size())
+        << "session " << i << ": admitted work was lost or double-answered";
+    EXPECT_EQ(got[i], reference[i])
+        << "session " << i << ": responses diverged from the single-process "
+        << "reference under worker kills";
+  }
+  EXPECT_GE(c.worker_restarts, 1u);
+  EXPECT_EQ(c.abandoned, 0u) << "a job exhausted its retry budget";
+  // 18 requests; the ping answers inline, everything else is queued work
+  // (the unknown workload still parses — the worker rejects it).
+  EXPECT_EQ(c.accepted, 17u);
+  EXPECT_EQ(c.rejected_invalid, 0u);
+  fs::remove_all(base);
+}
+
+TEST(ServeChaos, MigrationResumesBudgetedRunByteIdentical) {
+  const std::string base =
+      (fs::temp_directory_path() / "dimsim-serve-chaos-migrate").string();
+  fs::remove_all(base);
+  constexpr uint64_t kCheckpointInterval = 20000;
+  const std::string request = budget_run(R"("mig")", 4000000);
+
+  const std::vector<std::string> reference = reference_responses(
+      {request}, kCheckpointInterval, base + "/ref");
+  ASSERT_EQ(reference.size(), 1u);
+  ASSERT_NE(reference[0].find("\"hit_budget\": true"), std::string::npos);
+
+  // One worker, one long budgeted run, repeated SIGKILLs mid-run: every
+  // retry must resume from the latest checkpoint (forward progress — a
+  // checkpoint lands every ~20k instructions, far more often than kills)
+  // and the final response must match the uncrashed oracle byte-for-byte.
+  SupervisorOptions options;
+  options.workers = 1;
+  options.store_dir = base + "/pool";
+  options.checkpoint_interval = kCheckpointInterval;
+  options.engine_threads = 2;
+  Supervisor supervisor(options);
+
+  std::atomic<bool> answered{false};
+  std::vector<std::string> got;
+  auto session = supervisor.open_session(
+      [&got, &answered](const std::string& line) {
+        got.push_back(line);
+        answered.store(true);
+      });
+  session->submit(request);
+
+  // Wait for the job to actually reach the worker before the first kill.
+  const auto dispatch_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (supervisor.counters().dispatched == 0 &&
+         std::chrono::steady_clock::now() < dispatch_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(supervisor.counters().dispatched, 1u);
+
+  int kills = 0;
+  while (!answered.load() && kills < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::vector<pid_t> pids = supervisor.worker_pids();
+    if (pids.empty()) continue;
+    if (::kill(pids[0], SIGKILL) == 0) ++kills;
+  }
+  session->drain();
+
+  const SupervisorCounters c = supervisor.counters();
+  supervisor.shutdown();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], reference[0])
+      << "migrated run diverged from the uncrashed reference";
+  EXPECT_GE(kills, 1);
+  EXPECT_GE(c.worker_restarts, 1u);
+  // Each mid-run kill after the first checkpoint re-queues with a snapshot
+  // to resume from; with a 30ms kill cadence against ~20k-instruction
+  // checkpoint chunks at least one retry migrates rather than restarting.
+  EXPECT_GE(c.migrations, 1u);
+  EXPECT_EQ(c.abandoned, 0u);
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace dim::serve

@@ -9,8 +9,11 @@
 //   4. The serialized format is frozen by goldens: bytes may only change
 //      together with a kFormatVersion bump (docs/persistence.md).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -383,6 +386,97 @@ TEST(SnapshotGolden, FormatFrozenUntilVersionBump) {
   std::stringstream warm_file;
   snap::save_warm_start(warm_file, done, program);
   check_golden("golden.warm", warm_file.str());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process migration oracle: the serving pool's crash-migration path
+// (src/serve/supervisor.hpp) restores a checkpoint in a *different process*
+// than the one that wrote it. The in-process resume tests above can't catch
+// state that accidentally rides along in process globals, so this one
+// snapshots at a run_until boundary, fork-execs a fresh copy of this test
+// binary to restore and finish the run, and compares its serialized stats
+// and event stream against a straight run byte-for-byte.
+
+// The child half: runs only when fork-exec'd by the parent test below
+// (gtest otherwise reports it as skipped). Restores the snapshot named in
+// the environment, runs to completion, and writes the serialized stats and
+// the JSONL event text for the parent to diff.
+TEST(SnapshotMigration, ChildResume) {
+  const char* snap_path = std::getenv("DIMSIM_MIGRATE_SNAPSHOT");
+  const char* out_base = std::getenv("DIMSIM_MIGRATE_OUT");
+  if (snap_path == nullptr || out_base == nullptr) {
+    GTEST_SKIP() << "helper: runs only as the fork-exec'd migration child";
+  }
+  const auto program = asmblr::assemble(kCheckpointProgram);
+  obs::RecordingSink sink;
+  accel::SystemConfig cfg = small_config();
+  cfg.event_sink = &sink;
+  accel::AcceleratedSystem system(program, cfg);
+  std::ifstream in(snap_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << snap_path;
+  snap::restore_snapshot(system, in, program);
+  const accel::AccelStats got = system.run();
+
+  const std::vector<uint8_t> bytes = stats_bytes(got);
+  std::ofstream stats_out(std::string(out_base) + ".stats", std::ios::binary);
+  stats_out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(stats_out.good());
+  std::ofstream events_out(std::string(out_base) + ".events", std::ios::binary);
+  events_out << events_text(sink.events());
+  ASSERT_TRUE(events_out.good());
+}
+
+TEST(SnapshotMigration, CrossProcessResumeMatchesStraightRun) {
+  const auto program = asmblr::assemble(kCheckpointProgram);
+
+  obs::RecordingSink straight_sink;
+  accel::SystemConfig straight_cfg = small_config();
+  straight_cfg.event_sink = &straight_sink;
+  accel::AcceleratedSystem straight(program, straight_cfg);
+  const accel::AccelStats want = straight.run();
+  ASSERT_GT(want.instructions, 100u);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dimsim-migrate-oracle").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = dir + "/checkpoint.snap";
+  const std::string out_base = dir + "/resumed";
+
+  obs::RecordingSink first_sink;
+  accel::SystemConfig first_cfg = small_config();
+  first_cfg.event_sink = &first_sink;
+  {
+    accel::AcceleratedSystem first(program, first_cfg);
+    first.run_until(want.instructions / 2);
+    std::ofstream out(snap_path, std::ios::binary);
+    snap::save_snapshot(out, first, program);
+    ASSERT_TRUE(out.good());
+  }
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("DIMSIM_MIGRATE_SNAPSHOT", snap_path.c_str(), 1);
+    ::setenv("DIMSIM_MIGRATE_OUT", out_base.c_str(), 1);
+    ::execl("/proc/self/exe", "dimsim_tests",
+            "--gtest_filter=SnapshotMigration.ChildResume",
+            static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status))
+      << "migration child died with signal " << WTERMSIG(status);
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "migration child's assertions failed";
+
+  const std::vector<uint8_t> want_bytes = stats_bytes(want);
+  EXPECT_EQ(read_file(out_base + ".stats"),
+            std::string(want_bytes.begin(), want_bytes.end()));
+  EXPECT_EQ(events_text(straight_sink.events()),
+            events_text(first_sink.events()) + read_file(out_base + ".events"));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -11,24 +11,32 @@
 // requests and shutdown take effect promptly; a full admission queue
 // answers `overloaded` instead of buffering without bound.
 //
+// With --procs N the daemon instead runs as a supervised pre-forked pool
+// of N worker processes (serve::Supervisor): same protocol and transports,
+// plus priority/deadline scheduling and crash-tolerant execution — a
+// SIGKILLed worker is respawned and its in-flight request re-runs (from a
+// migration snapshot when --store is set) with byte-identical responses.
+//
 // Usage:
-//   dimsim-serve (--socket PATH | --stdio) [--workers N] [--store DIR]
-//                [--queue N] [--batch N] [--checkpoint N]
+//   dimsim-serve (--socket PATH | --stdio) [--workers N] [--procs N]
+//                [--store DIR] [--queue N] [--batch N] [--checkpoint N]
 //
 // Exit codes: 0 = clean shutdown, 2 = usage error, 3 = cannot listen.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "serve/server.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/transport.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: dimsim-serve (--socket PATH | --stdio) [--workers N]\n"
-    "                    [--store DIR] [--queue N] [--batch N]\n"
+    "                    [--procs N] [--store DIR] [--queue N] [--batch N]\n"
     "                    [--checkpoint N]\n";
 
 bool parse_count(const char* text, uint64_t* out) {
@@ -44,6 +52,7 @@ bool parse_count(const char* text, uint64_t* out) {
 int main(int argc, char** argv) {
   std::string socket_path;
   bool stdio = false;
+  uint64_t procs = 0;  // 0 = single-process Server; N = Supervisor pool
   dim::serve::ServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +80,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch") {
       if (!parse_count(next("--batch"), &n) || n == 0) return 2;
       options.batch_max = static_cast<size_t>(n);
+    } else if (arg == "--procs") {
+      if (!parse_count(next("--procs"), &n) || n == 0 || n > 64) return 2;
+      procs = n;
     } else if (arg == "--checkpoint") {
       if (!parse_count(next("--checkpoint"), &n) || n == 0) return 2;
       options.checkpoint_interval = n;
@@ -85,14 +97,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  dim::serve::Server server(options);
+  // Build whichever topology was asked for behind the one SessionHost
+  // surface; transports don't know the difference.
+  std::unique_ptr<dim::serve::SessionHost> host;
+  if (procs > 0) {
+    dim::serve::SupervisorOptions sup;
+    sup.workers = static_cast<int>(procs);
+    sup.queue_capacity = options.queue_capacity;
+    sup.store_dir = options.store_dir;
+    sup.checkpoint_interval = options.checkpoint_interval;
+    sup.engine_threads = options.worker_threads;
+    host = std::make_unique<dim::serve::Supervisor>(sup);
+  } else {
+    host = std::make_unique<dim::serve::Server>(options);
+  }
+
   if (stdio) {
-    dim::serve::serve_stdio(server, std::cin, std::cout);
-    server.shutdown();
+    dim::serve::serve_stdio(*host, std::cin, std::cout);
+    host->shutdown();
     return 0;
   }
 
-  dim::serve::UnixSocketServer listener(server, socket_path);
+  dim::serve::UnixSocketServer listener(*host, socket_path);
   std::string error;
   if (!listener.start(&error)) {
     std::fprintf(stderr, "dimsim-serve: %s\n", error.c_str());
@@ -100,6 +126,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "dimsim-serve: listening on %s\n", socket_path.c_str());
   listener.run();  // returns once a shutdown request lands
-  server.shutdown();
+  host->shutdown();
   return 0;
 }
