@@ -1,8 +1,12 @@
 // Ablation: the speculation policy — depth of speculative basic blocks,
-// misspeculation penalty, and the flush rule (the paper flushes when the
+// misspeculation penalty, the flush rule (the paper flushes when the
 // branch counter reaches the opposite saturation; a naive small misspec
-// cap destroys loop configurations on every loop exit).
+// cap destroys loop configurations on every loop exit) — and the
+// control-flow ablation: speculation vs if-conversion (predication +
+// loop residency) over the full workload set, exported as
+// BENCH_ablation_controlflow.json via --json for tools/bench_diff.py.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -11,7 +15,37 @@
 using namespace dim;
 using namespace dim::bench;
 
-int main() {
+namespace {
+
+// The four control-flow policies: neither, speculation only (paper
+// setting), if-conversion only, and both combined. Predication rides with
+// loop residency — the two halves of the "keep the hot hammock loop on the
+// array" story.
+struct ControlFlowVariant {
+  const char* name;
+  bool speculation;
+  bool predication;
+};
+
+constexpr ControlFlowVariant kVariants[] = {
+    {"nospec", false, false},
+    {"spec3", true, false},
+    {"pred", false, true},
+    {"spec3+pred", true, true},
+};
+
+accel::SystemConfig variant_config(const ControlFlowVariant& v) {
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, v.speculation);
+  cfg.predication = v.predication;
+  if (v.predication) cfg.residency = accel::Residency::kLoop;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SweepCli cli = parse_sweep_cli(argc, argv);
   const auto workloads = prepare_all();
 
   std::printf("Ablation - speculative basic-block depth (C#2, 64 slots)\n");
@@ -64,5 +98,38 @@ int main() {
     }
     std::printf("%-12d %10.2f\n", penalty, mean(speedups));
   }
+
+  // Control-flow ablation: speculation vs if-conversion. Run as one sweep
+  // grid so --threads/--json apply; the committed artifact is produced by
+  //   bench_ablation_speculation --json BENCH_ablation_controlflow.json
+  // and diffed across revisions by tools/bench_diff.py.
+  constexpr size_t kNumVariants = sizeof kVariants / sizeof kVariants[0];
+  std::vector<accel::SweepPoint> points;
+  for (const auto& p : workloads) {
+    for (const auto& v : kVariants) {
+      points.push_back(point_of(p, p.workload.name + "/" + v.name, variant_config(v)));
+    }
+  }
+  const auto results = run_sweep(std::move(points), cli);
+
+  std::printf("\nAblation - control flow: speculation vs if-conversion (C#2, 64 slots)\n");
+  std::printf("%-16s", "workload");
+  for (const auto& v : kVariants) std::printf(" %12s", v.name);
+  std::printf("\n");
+  std::vector<std::vector<double>> per_variant(kNumVariants);
+  for (size_t w = 0; w * kNumVariants + kNumVariants <= results.size(); ++w) {
+    std::printf("%-16s", workloads[w].workload.name.c_str());
+    for (size_t v = 0; v < kNumVariants; ++v) {
+      const double s = results[w * kNumVariants + v].speedup();
+      per_variant[v].push_back(s);
+      std::printf(" %12.2f", s);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "mean");
+  for (size_t v = 0; v < kNumVariants; ++v) std::printf(" %12.2f", mean(per_variant[v]));
+  std::printf("\n");
+
+  maybe_write_json(cli, results);
   return 0;
 }

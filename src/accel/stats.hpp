@@ -36,6 +36,9 @@ struct AccelStats {
   uint64_t rcache_insertions = 0;
   uint64_t rcache_evictions = 0;
   uint64_t bt_observed = 0;
+  uint64_t hammocks_merged = 0;   // if-converted hammocks (translator)
+  uint64_t residency_hits = 0;    // dispatches that skipped the config reload
+  uint64_t residency_drops = 0;   // residency invalidations (SMC / rewrite)
 
   // Activity for the power model.
   uint64_t array_alu_ops = 0;

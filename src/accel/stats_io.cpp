@@ -61,6 +61,9 @@ void write_json_fields(std::ostream& out, const AccelStats& stats,
   field(out, indent, "rcache_misses", stats.rcache_misses);
   field(out, indent, "rcache_insertions", stats.rcache_insertions);
   field(out, indent, "rcache_evictions", stats.rcache_evictions);
+  field(out, indent, "hammocks_merged", stats.hammocks_merged);
+  field(out, indent, "residency_hits", stats.residency_hits);
+  field(out, indent, "residency_drops", stats.residency_drops);
   field(out, indent, "array_alu_ops", stats.array_alu_ops);
   field(out, indent, "array_mul_ops", stats.array_mul_ops);
   field(out, indent, "array_mem_ops", stats.array_mem_ops);
@@ -96,6 +99,11 @@ void write_report(std::ostream& out, const AccelStats& stats) {
   out << "array:        " << stats.array_activations << " activations, "
       << stats.misspeculations << " misspeculations, " << stats.config_flushes
       << " flushes, " << stats.extensions << " extensions\n";
+  if (stats.hammocks_merged > 0 || stats.residency_hits > 0 || stats.residency_drops > 0) {
+    out << "control flow: " << stats.hammocks_merged << " hammocks merged, "
+        << stats.residency_hits << " residency hits, " << stats.residency_drops
+        << " residency drops\n";
+  }
   out << "rcache:       " << stats.rcache_insertions << " insertions, "
       << stats.rcache_evictions << " evictions, " << stats.rcache_hits << " hits\n";
   out << "ipc:          " << std::setprecision(4) << stats.ipc() << "\n";

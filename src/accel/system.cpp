@@ -28,10 +28,19 @@ AcceleratedSystem::AcceleratedSystem(const asmblr::Program& program,
   tparams.max_input_regs = config_.max_input_regs;
   tparams.max_output_regs = config_.max_output_regs;
   tparams.allowed_starts = config_.allowed_starts;
+  tparams.predication = config_.predication;
+  tparams.max_hammock_ops = config_.max_hammock_ops;
+  tparams.max_pred_slots = config_.max_pred_slots;
   tparams.fault = config_.fault_injection;
   rcache_ = std::make_unique<bt::ReconfigCache>(config_.cache_slots,
                                                 config_.cache_replacement);
   translator_ = std::make_unique<bt::Translator>(tparams, rcache_.get(), &predictor_);
+  // Hammock detection must read ahead of the retired stream (the not-taken
+  // arm has not retired yet when the branch is observed). Raw decode, not
+  // the decode cache: a translation-time peek is not a fetch.
+  translator_->set_code_reader([this](uint32_t pc) -> std::optional<isa::Instr> {
+    return isa::decode(memory_.read32(pc));
+  });
 
   events_.attach(config_.event_sink, this);
   rcache_->set_event_stream(&events_);
@@ -40,14 +49,40 @@ AcceleratedSystem::AcceleratedSystem(const asmblr::Program& program,
 
 AcceleratedSystem::~AcceleratedSystem() = default;
 
+void AcceleratedSystem::drop_residency(AccelStats& stats, uint32_t pc) {
+  has_resident_ = false;
+  ++stats.residency_drops;
+  if (events_.enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kResidencyDropped;
+    e.config_pc = pc;
+    events_.emit(e);
+  }
+}
+
 void AcceleratedSystem::execute_on_array(rra::Configuration* config,
                                          AccelStats& stats) {
   translator_->on_array_executed();
   extension_candidate_ = false;
 
   const uint32_t config_pc = config->start_pc;
-  const rra::ArrayExecOutcome outcome = rra::execute_configuration(
-      *config, state_, memory_, &pipeline_.dcache(), config_.array_timing);
+
+  // Loop residency: the configuration from the previous dispatch may still
+  // be latched on the array. Valid only when both the start PC and the
+  // rcache revision stamp match — any rewrite of the entry (extension,
+  // re-translation after a flush) bumped the revision.
+  bool resident = false;
+  if (has_resident_ && resident_pc_ == config_pc) {
+    if (resident_rev_ == config->revision) {
+      resident = true;
+    } else {
+      drop_residency(stats, config_pc);
+    }
+  }
+
+  const rra::ArrayExecOutcome outcome =
+      rra::execute_configuration(*config, state_, memory_, &pipeline_.dcache(),
+                                 config_.array_timing, resident);
 
   ++stats.array_activations;
   stats.array_instructions += static_cast<uint64_t>(outcome.committed_ops);
@@ -61,7 +96,12 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
   stats.array_alu_ops += static_cast<uint64_t>(outcome.alu_ops);
   stats.array_mul_ops += static_cast<uint64_t>(outcome.mul_ops);
   stats.array_mem_ops += static_cast<uint64_t>(outcome.mem_ops);
-  stats.config_words_loaded += static_cast<uint64_t>(config->instruction_count());
+  // A resident dispatch skips the configuration-word reload entirely.
+  if (resident) {
+    ++stats.residency_hits;
+  } else {
+    stats.config_words_loaded += static_cast<uint64_t>(config->instruction_count());
+  }
 
   if (events_.enabled()) {
     obs::Event e;
@@ -76,10 +116,45 @@ void AcceleratedSystem::execute_on_array(rra::Configuration* config,
     e.misspec_penalty_cycles = outcome.misspec_penalty_cycles;
     events_.emit(e);
   }
+  if (resident && events_.enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kResidencyHit;
+    e.config_pc = config_pc;
+    events_.emit(e);
+  }
 
   // Update the bimodal counters with every branch the array resolved.
   for (const rra::BranchOutcome& b : outcome.branch_outcomes) {
     predictor_.update(b.pc, b.taken);
+  }
+
+  // Latch update — what the array holds after this dispatch. Done before the
+  // misspeculation exit: a partially-committed run still loaded (or kept)
+  // the configuration bits. Backward-closed configs resume at their own
+  // start PC, which is what makes them loop-resident under kLoop.
+  const bool latchable =
+      config_.residency == Residency::kAny ||
+      (config_.residency == Residency::kLoop && config->end_pc == config_pc);
+  if (latchable) {
+    if (!resident) {
+      uint32_t hi = config_pc;
+      for (const rra::ArrayOp& op : config->ops) hi = std::max(hi, op.pc);
+      has_resident_ = true;
+      resident_pc_ = config_pc;
+      resident_rev_ = config->revision;
+      resident_lo_ = config_pc;
+      resident_hi_ = hi + 4;
+    }
+  } else {
+    has_resident_ = false;
+  }
+
+  // Self-modifying code from inside the array: a committed store into the
+  // latched code range invalidates the residency (conservatively, by the
+  // store bytes actually written).
+  if (has_resident_ && outcome.wrote_memory && outcome.store_lo < resident_hi_ &&
+      outcome.store_hi > resident_lo_) {
+    drop_residency(stats, resident_pc_);
   }
 
   if (outcome.misspeculated) {
@@ -164,6 +239,12 @@ struct AcceleratedSystem::TraceEnv {
     rec.taken = taken;
     sys->pipeline_.retire(rec);
     if (mem_access) ++stats->proc_mem_accesses;
+    // Processor store into the resident code range (SMC): drop the latch.
+    // Conservative 4-byte width — sub-word stores still hit their word.
+    if (sys->has_resident_ && mem_access && isa::is_store(op.instr.op) &&
+        mem_addr < sys->resident_hi_ && mem_addr + 4 > sys->resident_lo_) {
+      sys->drop_residency(*stats, sys->resident_pc_);
+    }
 
     sim::StepInfo info;
     info.instr = op.instr;
@@ -227,6 +308,12 @@ AccelStats AcceleratedSystem::run_until(uint64_t instruction_boundary) {
     ++stats.proc_instructions;
     pipeline_.retire(info);
     if (info.mem_access) ++stats.proc_mem_accesses;
+    // Mirror of TraceEnv::retired — SMC into the resident range drops the
+    // latch regardless of which path retired the store.
+    if (has_resident_ && info.mem_access && isa::is_store(info.instr.op) &&
+        info.mem_addr < resident_hi_ && info.mem_addr + 4 > resident_lo_) {
+      drop_residency(stats, resident_pc_);
+    }
 
     // Extension: the branch at the end of a fully-committed configuration
     // just retired. If its counter is saturated in the direction it went,
@@ -279,6 +366,7 @@ AccelStats AcceleratedSystem::run_until(uint64_t instruction_boundary) {
   stats.rcache_insertions = rcache_->insertions();
   stats.rcache_evictions = rcache_->evictions();
   stats.bt_observed = translator_->stats().observed_instructions;
+  stats.hammocks_merged = translator_->stats().hammocks_merged;
   stats.config_words_written = rcache_->words_written();
   stats.final_state = state_;
   stats.memory_hash = memory_.content_hash();

@@ -31,6 +31,16 @@ struct SystemAccess;  // snapshot serializer (snap/snapshot.cpp)
 
 namespace dim::accel {
 
+// Loop-residency policy: which fully-committed configurations may stay
+// latched on the array across dispatches. A resident re-dispatch skips the
+// configuration-word reload (rra::resident_stall_cycles); timing only —
+// architectural state is identical with residency on or off.
+enum class Residency : uint8_t {
+  kOff,   // every dispatch reloads the configuration (paper default)
+  kLoop,  // only backward-branch-closed configs (end_pc == start_pc)
+  kAny,   // any fully-committed configuration stays latched
+};
+
 struct SystemConfig {
   sim::MachineConfig machine;          // baseline core timing + run limits
   rra::ArrayShape shape = rra::ArrayShape::config1();
@@ -48,6 +58,13 @@ struct SystemConfig {
   int max_input_regs = rra::kNumCtxRegs;
   int max_output_regs = rra::kNumCtxRegs;
   std::unordered_set<uint32_t> allowed_starts;
+  // If-conversion (see bt::TranslatorParams): merge short hammocks into one
+  // configuration under predicate bits instead of speculating the branch.
+  bool predication = false;
+  int max_hammock_ops = 4;
+  int max_pred_slots = rra::kMaxPredSlots;
+  // Loop residency (see enum above). Strictly a timing knob.
+  Residency residency = Residency::kOff;
   // A configuration is flushed when its mispredicted branch reaches the
   // opposite counter saturation (paper rule). Optionally also after this
   // many misspeculations (0 = disabled; kept for the ablation bench — a
@@ -119,6 +136,10 @@ class AcceleratedSystem : private obs::RunClock {
 
   void execute_on_array(rra::Configuration* config, AccelStats& stats);
 
+  // Drops the residency latch (SMC overwrite or config rewrite detected):
+  // clears the latch, counts the drop and emits kResidencyDropped for `pc`.
+  void drop_residency(AccelStats& stats, uint32_t pc);
+
   // obs::RunClock — the stamp every emitted event carries.
   uint64_t retired_instructions() const override { return stats_.instructions; }
   uint64_t clock_proc_cycles() const override { return pipeline_.cycles(); }
@@ -139,6 +160,16 @@ class AcceleratedSystem : private obs::RunClock {
   bool extension_candidate_ = false;
   uint32_t extension_config_pc_ = 0;
   uint32_t extension_branch_pc_ = 0;
+
+  // Loop-residency latch: the configuration currently held on the array.
+  // Valid only while the cached entry's revision still matches (the rcache
+  // stamps every write); resident_lo_/hi_ cover the translated code bytes
+  // so stores into them (SMC) drop the latch.
+  bool has_resident_ = false;
+  uint32_t resident_pc_ = 0;
+  uint64_t resident_rev_ = 0;
+  uint32_t resident_lo_ = 0;
+  uint32_t resident_hi_ = 0;  // exclusive
 
   uint64_t array_cycle_acc_ = 0;  // array cycles (outside the pipeline model)
 

@@ -1,5 +1,6 @@
 #include "bt/rcache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -30,6 +31,9 @@ void ReconfigCache::insert(rra::Configuration config) {
   const uint64_t words = static_cast<uint64_t>(config.instruction_count());
   auto it = entries_.find(pc);
   if (it != entries_.end()) {
+    // Every (re)write gets a fresh revision, so an array-resident copy of
+    // the old contents is detectable as stale by the dispatching system.
+    config.revision = ++revision_counter_;
     // Replacement (e.g. a speculation extension): the entry is rewritten in
     // place — a real cache write. FIFO keeps the original insertion
     // position; LRU treats the rewrite as a use and refreshes recency.
@@ -53,6 +57,7 @@ void ReconfigCache::insert(rra::Configuration config) {
     ++evictions_;
   }
   words_written_ += words;
+  config.revision = ++revision_counter_;
   entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)));
   order_.push_back(pc);
   order_pos_.emplace(pc, std::prev(order_.end()));
@@ -92,11 +97,16 @@ void ReconfigCache::restore(std::vector<rra::Configuration> entries,
   evictions_ = counters.evictions;
   flushes_ = counters.flushes;
   words_written_ = counters.words_written;
+  revision_counter_ = counters.revision_counter;
 }
 
 bool ReconfigCache::preload(rra::Configuration config) {
   if (entries_.size() >= slots_ || entries_.count(config.start_pc) != 0) return false;
   const uint32_t pc = config.start_pc;
+  // Preloading keeps the revision the entry was saved with (so a warm run
+  // re-exports byte-identically) and only advances the counter past it, so
+  // later insertions can never reissue a stamp the file already used.
+  revision_counter_ = std::max(revision_counter_, config.revision);
   entries_.emplace(pc, std::make_unique<rra::Configuration>(std::move(config)));
   order_.push_back(pc);
   order_pos_.emplace(pc, std::prev(order_.end()));

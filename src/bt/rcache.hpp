@@ -26,6 +26,11 @@ struct RcacheCounters {
   uint64_t evictions = 0;
   uint64_t flushes = 0;
   uint64_t words_written = 0;
+  // Monotone stamp source for Configuration::revision (loop residency): a
+  // resident dispatch is valid only while the cached entry's revision
+  // matches the one latched in the array. Serialized so a resumed run can
+  // never reissue a stamp an old latch still holds.
+  uint64_t revision_counter = 0;
 };
 
 class ReconfigCache {
@@ -102,7 +107,8 @@ class ReconfigCache {
   }
 
   RcacheCounters counters() const {
-    return {hits_, misses_, insertions_, evictions_, flushes_, words_written_};
+    return {hits_,    misses_,        insertions_,       evictions_,
+            flushes_, words_written_, revision_counter_};
   }
 
   // Stored configurations in eviction order (oldest first) — together with
@@ -144,6 +150,7 @@ class ReconfigCache {
   uint64_t evictions_ = 0;
   uint64_t flushes_ = 0;
   uint64_t words_written_ = 0;
+  uint64_t revision_counter_ = 0;
 };
 
 }  // namespace dim::bt

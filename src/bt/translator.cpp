@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/executor.hpp"
+
 namespace dim::bt {
 
 using isa::FuKind;
@@ -37,6 +39,27 @@ FuKind fu_for(const Instr& i, bool is_branch) {
   return isa::fu_kind(i.op);
 }
 
+// Can this instruction live inside an if-converted hammock arm? Same
+// restrictions as try_add, plus: no control flow (arms are straight-line).
+bool arm_op_allowed(const Instr& i, const TranslatorParams& p) {
+  if (isa::is_branch(i.op) || isa::is_jump(i.op)) return false;
+  if (!translatable(i.op)) return false;
+  if (!p.allow_mem && (isa::is_load(i.op) || isa::is_store(i.op))) return false;
+  if (!p.allow_shifts && isa::is_shift(i.op)) return false;
+  if (!p.allow_mult &&
+      (i.op == Op::kMult || i.op == Op::kMultu || i.op == Op::kMfhi ||
+       i.op == Op::kMflo)) {
+    return false;
+  }
+  return true;
+}
+
+// The diamond's internal unconditional jump: `b join` assembles to
+// `beq $0, $0, disp`.
+bool is_join_jump_instr(const Instr& i) {
+  return i.op == Op::kBeq && i.rs == 0 && i.rt == 0;
+}
+
 }  // namespace
 
 // --- ConfigBuilder -----------------------------------------------------------
@@ -60,6 +83,7 @@ ConfigBuilder::ConfigBuilder(const BuilderState& state, const TranslatorParams& 
   last_store_row_ = state.last_store_row;
   bb_ = state.bb;
   immediates_ = state.immediates;
+  pred_slots_ = state.pred_slots;
 }
 
 BuilderState ConfigBuilder::export_state() const {
@@ -75,17 +99,22 @@ BuilderState ConfigBuilder::export_state() const {
   s.last_store_row = last_store_row_;
   s.bb = bb_;
   s.immediates = immediates_;
+  s.pred_slots = pred_slots_;
   return s;
 }
 
-bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
-                          bool predicted_taken) {
-  const FuKind kind = fu_for(instr, is_branch);
+bool ConfigBuilder::place(const Instr& instr, uint32_t pc, const PlaceOpts& opts) {
+  // The join jump compares $0 == $0 on an ALU, like any other branch slot.
+  const FuKind kind =
+      opts.is_join_jump ? FuKind::kAlu : fu_for(instr, opts.is_branch);
 
   // RAW dependences: the instruction must sit strictly below every producer.
   int srcs[2];
   const int nsrc = rra::array_srcs(instr, srcs);
-  int min_row = 0;
+  // Predicated ops additionally wait for their predicate line (placed
+  // strictly below the pred-defining branch so the write-back gate is
+  // resolved by the time the row drives the bus).
+  int min_row = opts.min_row_floor;
   std::bitset<rra::kNumCtxRegs> new_inputs;
   for (int k = 0; k < nsrc; ++k) {
     const int s = srcs[k];
@@ -146,7 +175,14 @@ bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
   // Commit all table updates.
   input_ctx_ |= new_inputs;
   written_ = new_written;
-  for (int k = 0; k < ndst; ++k) last_writer_row_[static_cast<size_t>(dests[k])] = row;
+  const bool predicated_write = opts.pred_slot >= 0 && !opts.is_pred_def;
+  for (int k = 0; k < ndst; ++k) {
+    int& writer = last_writer_row_[static_cast<size_t>(dests[k])];
+    // A predicated write may be squashed at runtime, so a later reader must
+    // sit below BOTH the other arm's writer and this one: keep the deepest
+    // writer row instead of overwriting it.
+    writer = predicated_write ? std::max(writer, row) : row;
+  }
   if (isa::is_load(instr.op)) {
     last_mem_row_ = std::max(last_mem_row_, row);
   } else if (isa::is_store(instr.op)) {
@@ -172,8 +208,12 @@ bool ConfigBuilder::place(const Instr& instr, uint32_t pc, bool is_branch,
   op.col = col;
   op.kind = kind;
   op.bb_index = bb_;
-  op.is_branch = is_branch;
-  op.predicted_taken = predicted_taken;
+  op.is_branch = opts.is_branch;
+  op.predicted_taken = opts.predicted_taken;
+  op.pred_slot = opts.pred_slot;
+  op.pred_when_taken = opts.pred_when_taken;
+  op.is_pred_def = opts.is_pred_def;
+  op.is_join_jump = opts.is_join_jump;
   ops_.push_back(op);
   return true;
 }
@@ -188,7 +228,7 @@ bool ConfigBuilder::try_add(const Instr& instr, uint32_t pc) {
        instr.op == Op::kMflo)) {
     return false;
   }
-  return place(instr, pc, false, false);
+  return place(instr, pc, PlaceOpts{});
 }
 
 bool ConfigBuilder::try_add_branch(const Instr& instr, uint32_t pc,
@@ -197,17 +237,71 @@ bool ConfigBuilder::try_add_branch(const Instr& instr, uint32_t pc,
   // The and-link variants write $ra unconditionally — the array's branch
   // slots only evaluate a condition, so those stay on the processor.
   if (instr.op == Op::kBltzal || instr.op == Op::kBgezal) return false;
-  if (!place(instr, pc, true, predicted_taken)) return false;
+  PlaceOpts opts;
+  opts.is_branch = true;
+  opts.predicted_taken = predicted_taken;
+  if (!place(instr, pc, opts)) return false;
   ++bb_;  // subsequent ops belong to the next (speculative) basic block
   return true;
 }
 
-bool ConfigBuilder::replay(const rra::Configuration& config) {
-  for (const rra::ArrayOp& op : config.ops) {
-    const bool ok = op.is_branch ? try_add_branch(op.instr, op.pc, op.predicted_taken)
-                                 : try_add(op.instr, op.pc);
-    if (!ok) return false;
+bool ConfigBuilder::try_merge_hammock(const Instr& branch, uint32_t branch_pc,
+                                      const std::vector<HammockOp>& not_taken_arm,
+                                      const HammockOp* join_jump,
+                                      const std::vector<HammockOp>& taken_arm) {
+  const int cap = std::min(params_.max_pred_slots, rra::kMaxPredSlots);
+  const int slot = pred_slots_;
+  if (slot >= cap) return false;
+
+  PlaceOpts def;
+  def.is_branch = true;
+  def.is_pred_def = true;
+  def.pred_slot = slot;
+  if (!place(branch, branch_pc, def)) return false;
+  const int pred_row = ops_.back().row;
+
+  PlaceOpts arm;
+  arm.pred_slot = slot;
+  arm.min_row_floor = pred_row + 1;
+  arm.pred_when_taken = false;  // fall-through arm runs when NOT taken
+  for (const HammockOp& h : not_taken_arm) {
+    if (!arm_op_allowed(h.instr, params_)) return false;
+    if (!place(h.instr, h.pc, arm)) return false;
   }
+  if (join_jump != nullptr) {
+    PlaceOpts jj = arm;
+    jj.is_join_jump = true;
+    if (!place(join_jump->instr, join_jump->pc, jj)) return false;
+  }
+  arm.pred_when_taken = true;
+  for (const HammockOp& h : taken_arm) {
+    if (!arm_op_allowed(h.instr, params_)) return false;
+    if (!place(h.instr, h.pc, arm)) return false;
+  }
+  ++pred_slots_;
+  return true;
+}
+
+bool ConfigBuilder::replay(const rra::Configuration& config) {
+  // Pred-def rows seen so far, to restore the min-row floor of arm ops.
+  std::array<int, rra::kMaxPredSlots> pred_row;
+  pred_row.fill(-1);
+  for (const rra::ArrayOp& op : config.ops) {
+    PlaceOpts opts;
+    opts.is_branch = op.is_branch;
+    opts.predicted_taken = op.predicted_taken;
+    opts.pred_slot = op.pred_slot;
+    opts.pred_when_taken = op.pred_when_taken;
+    opts.is_pred_def = op.is_pred_def;
+    opts.is_join_jump = op.is_join_jump;
+    if (op.pred_slot >= 0 && !op.is_pred_def) {
+      opts.min_row_floor = pred_row[static_cast<size_t>(op.pred_slot)] + 1;
+    }
+    if (!place(op.instr, op.pc, opts)) return false;
+    if (op.is_pred_def) pred_row[static_cast<size_t>(op.pred_slot)] = ops_.back().row;
+    if (op.is_branch && !op.is_pred_def) ++bb_;
+  }
+  pred_slots_ = config.pred_slots;
   return true;
 }
 
@@ -220,6 +314,7 @@ rra::Configuration ConfigBuilder::finalize(uint32_t end_pc) const {
   config.input_regs = static_cast<int>(input_ctx_.count());
   config.output_regs = static_cast<int>(written_.count());
   config.immediates = immediates_;
+  config.pred_slots = pred_slots_;
 
   int rows_used = 0;
   for (const rra::ArrayOp& op : ops_) rows_used = std::max(rows_used, op.row + 1);
@@ -243,13 +338,14 @@ Translator::Translator(const TranslatorParams& params, ReconfigCache* cache,
     : params_(params), cache_(cache), predictor_(predictor) {}
 
 void Translator::emit(obs::EventKind kind, uint32_t config_pc, int32_t ops,
-                      int32_t depth) {
+                      int32_t depth, uint32_t branch_pc) {
   if (events_ == nullptr) return;
   obs::Event e;
   e.kind = kind;
   e.config_pc = config_pc;
   e.ops = ops;
   e.depth = depth;
+  e.branch_pc = branch_pc;
   events_->emit(e);
 }
 
@@ -271,6 +367,7 @@ void Translator::finalize_capture(uint32_t end_pc) {
   }
   builder_.reset();
   extending_ = false;
+  skipping_ = false;
 }
 
 void Translator::abort_capture() {
@@ -280,6 +377,7 @@ void Translator::abort_capture() {
   }
   builder_.reset();
   extending_ = false;
+  skipping_ = false;
 }
 
 void Translator::on_array_executed() {
@@ -311,6 +409,9 @@ TranslatorState Translator::export_state() const {
   s.stats = stats_;
   s.start_pending = start_pending_;
   s.extending = extending_;
+  s.skipping = skipping_;
+  s.skip_lo = skip_lo_;
+  s.skip_until = skip_until_;
   if (builder_) s.builder = builder_->export_state();
   return s;
 }
@@ -319,6 +420,9 @@ void Translator::restore_state(const TranslatorState& state) {
   stats_ = state.stats;
   start_pending_ = state.start_pending;
   extending_ = state.extending;
+  skipping_ = state.skipping;
+  skip_lo_ = state.skip_lo;
+  skip_until_ = state.skip_until;
   if (state.builder) {
     builder_.emplace(*state.builder, params_);
   } else {
@@ -326,11 +430,121 @@ void Translator::restore_state(const TranslatorState& state) {
   }
 }
 
+bool Translator::try_hammock_merge(const Instr& branch, uint32_t branch_pc) {
+  if (!params_.predication || !code_reader_ || !builder_) return false;
+  if (branch.op == Op::kBltzal || branch.op == Op::kBgezal) return false;
+  const uint32_t target = sim::branch_target(branch, branch_pc);
+  if (target <= branch_pc + 4) return false;  // backward or degenerate
+
+  const int max_arm = params_.max_hammock_ops;
+  const int fall_len = static_cast<int>((target - branch_pc) / 4) - 1;
+  if (fall_len == 0) return false;  // branch-to-next: nothing to convert
+  if (fall_len > max_arm + 1) {
+    // Even a diamond (whose fall-through region carries one join jump on
+    // top of the arm) cannot fit — the cap fallback the tests exercise.
+    ++stats_.hammock_rejects;
+    return false;
+  }
+
+  // Read the fall-through region [branch_pc+4, target).
+  std::vector<HammockOp> fall;
+  fall.reserve(static_cast<size_t>(fall_len));
+  for (int k = 0; k < fall_len; ++k) {
+    const uint32_t pc = branch_pc + 4 + static_cast<uint32_t>(k) * 4;
+    std::optional<Instr> instr = code_reader_(pc);
+    if (!instr) return false;
+    fall.push_back(HammockOp{*instr, pc});
+  }
+
+  std::vector<HammockOp> not_taken = fall;
+  std::optional<HammockOp> join_jump;
+  std::vector<HammockOp> taken;
+  uint32_t join_pc = target;
+
+  const bool straight = std::all_of(fall.begin(), fall.end(), [&](const HammockOp& h) {
+    return arm_op_allowed(h.instr, params_);
+  });
+  if (!straight) {
+    // Diamond: every fall-through op but the last is straight-line, and the
+    // last is `b join` (beq $0,$0) hopping over the taken arm.
+    const HammockOp& last = fall.back();
+    const bool body_ok =
+        std::all_of(fall.begin(), fall.end() - 1, [&](const HammockOp& h) {
+          return arm_op_allowed(h.instr, params_);
+        });
+    if (!body_ok || !is_join_jump_instr(last.instr)) {
+      ++stats_.hammock_rejects;
+      return false;
+    }
+    join_pc = sim::branch_target(last.instr, last.pc);
+    if (join_pc <= target) {
+      ++stats_.hammock_rejects;
+      return false;
+    }
+    const int taken_len = static_cast<int>((join_pc - target) / 4);
+    if (fall_len - 1 + taken_len > max_arm) {
+      ++stats_.hammock_rejects;
+      return false;
+    }
+    taken.reserve(static_cast<size_t>(taken_len));
+    for (int k = 0; k < taken_len; ++k) {
+      const uint32_t pc = target + static_cast<uint32_t>(k) * 4;
+      std::optional<Instr> instr = code_reader_(pc);
+      if (!instr || !arm_op_allowed(*instr, params_)) {
+        ++stats_.hammock_rejects;
+        return false;
+      }
+      taken.push_back(HammockOp{*instr, pc});
+    }
+    not_taken.pop_back();
+    join_jump = last;
+  } else if (fall_len > max_arm) {
+    ++stats_.hammock_rejects;
+    return false;
+  }
+
+  // Merge into a copy: a failed attempt must leave the capture exactly as
+  // the speculation/finalize path expects it.
+  ConfigBuilder trial = *builder_;
+  if (!trial.try_merge_hammock(branch, branch_pc, not_taken,
+                               join_jump ? &*join_jump : nullptr, taken)) {
+    ++stats_.hammock_rejects;
+    return false;
+  }
+  builder_ = std::move(trial);
+  skipping_ = true;
+  skip_lo_ = branch_pc + 4;
+  skip_until_ = join_pc;
+  ++stats_.hammocks_merged;
+  emit(obs::EventKind::kHammockMerged, builder_->start_pc(),
+       static_cast<int32_t>(not_taken.size() + taken.size()),
+       builder_->pred_slots(), branch_pc);
+  return true;
+}
+
 void Translator::observe(const sim::StepInfo& info) {
   ++stats_.observed_instructions;
   const Instr& i = info.instr;
   const bool is_cond_branch = isa::is_branch(i.op);
   const bool is_flow = is_cond_branch || isa::is_jump(i.op);
+
+  if (builder_ && skipping_) {
+    if (info.pc == skip_until_) {
+      // The hammock's join point: both arms are already placed, resume the
+      // normal capture with this instruction.
+      skipping_ = false;
+    } else if (info.pc >= skip_lo_ && info.pc < skip_until_) {
+      // Inside the merged hammock: whichever arm retires on the processor
+      // is already in the configuration. Only the predictor observes it
+      // (the join jump included — exactly what the software path trains).
+      if (is_cond_branch) predictor_->update(info.pc, info.taken);
+      return;
+    } else {
+      // Control left the hammock region some other way; drop the capture
+      // and let the normal detection logic classify this instruction.
+      abort_capture();
+    }
+  }
 
   if (builder_) {
     if (is_cond_branch) {
@@ -351,6 +565,9 @@ void Translator::observe(const sim::StepInfo& info) {
           merged = builder_->try_add_branch(i, info.pc, *dir);
         }
       }
+      // If-conversion is tried only after the speculation path declined, so
+      // enabling predication never changes what speculation alone would do.
+      if (!merged) merged = try_hammock_merge(i, info.pc);
       if (!merged) {
         finalize_capture(info.pc);
         start_pending_ = true;  // next instruction follows a branch

@@ -22,6 +22,7 @@
 #include <array>
 #include <bitset>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -70,6 +71,17 @@ struct TranslatorParams {
   bool allow_shifts = true;
   bool allow_mult = true;
 
+  // If-conversion (hammock predication). When enabled, a short forward
+  // hammock (`if-then`) or diamond (`if-then-else` with an internal
+  // unconditional join jump) whose terminating branch the speculation path
+  // declined to merge is if-converted: both arms are placed into the same
+  // configuration guarded by a predicate slot, and the branch becomes a
+  // predicate-defining op that can never misspeculate. Oversized or
+  // non-straight-line hammocks fall back to the speculation path untouched.
+  bool predication = false;
+  int max_hammock_ops = 4;  // total arm instructions (the join jump is free)
+  int max_pred_slots = 8;   // hammocks per configuration (<= rra::kMaxPredSlots)
+
   // Warp-processing-style kernel-only optimization: when non-empty, only
   // sequences starting at these PCs (the profiled hot spots) are
   // translated — everything else stays on the processor.
@@ -96,7 +108,20 @@ struct BuilderState {
   int last_store_row = -1;
   int bb = 0;
   int immediates = 0;
+  int pred_slots = 0;
 };
+
+// One look-ahead instruction of a hammock arm (static code at `pc`).
+struct HammockOp {
+  isa::Instr instr;
+  uint32_t pc = 0;
+};
+
+// Reads and decodes static code at `pc` for hammock look-ahead (the
+// translator's window into the fetch path). Returns nullopt when the
+// address is unreadable. Wired by the accelerated system; not serialized —
+// the owner re-attaches it after a checkpoint restore.
+using CodeReader = std::function<std::optional<isa::Instr>(uint32_t)>;
 
 // The DIM detection-phase tables for one in-flight translation.
 class ConfigBuilder {
@@ -120,12 +145,22 @@ class ConfigBuilder {
   // replay does not fit (it always should, for the shape it was built for).
   bool replay(const rra::Configuration& config);
 
+  // If-conversion: places `branch` as a predicate-defining op and both arms
+  // (and the diamond's join jump, when present) guarded by a fresh predicate
+  // slot. On failure the builder may be left dirty — the caller merges into
+  // a copy and discards it when this returns false.
+  bool try_merge_hammock(const isa::Instr& branch, uint32_t branch_pc,
+                         const std::vector<HammockOp>& not_taken_arm,
+                         const HammockOp* join_jump,
+                         const std::vector<HammockOp>& taken_arm);
+
   rra::Configuration finalize(uint32_t end_pc) const;
 
   BuilderState export_state() const;
 
   int size() const { return static_cast<int>(ops_.size()); }
   int num_bbs() const { return bb_ + 1; }
+  int pred_slots() const { return pred_slots_; }
   uint32_t start_pc() const { return start_pc_; }
 
  private:
@@ -135,8 +170,18 @@ class ConfigBuilder {
     int ldst = 0;
   };
 
-  // Core placement routine shared by try_add / try_add_branch.
-  bool place(const isa::Instr& instr, uint32_t pc, bool is_branch, bool predicted_taken);
+  // Placement options for the core routine shared by every add path.
+  struct PlaceOpts {
+    bool is_branch = false;
+    bool predicted_taken = false;
+    int pred_slot = -1;
+    bool pred_when_taken = false;
+    bool is_pred_def = false;
+    bool is_join_jump = false;
+    int min_row_floor = 0;  // predicated ops sit below their pred-def row
+  };
+
+  bool place(const isa::Instr& instr, uint32_t pc, const PlaceOpts& opts);
 
   TranslatorParams params_;
   uint32_t start_pc_;
@@ -150,6 +195,7 @@ class ConfigBuilder {
   int last_store_row_ = -1;
   int bb_ = 0;
   int immediates_ = 0;
+  int pred_slots_ = 0;
 };
 
 struct TranslatorStats {
@@ -159,6 +205,8 @@ struct TranslatorStats {
   uint64_t too_short = 0;           // sequence did not exceed 3 instructions
   uint64_t extensions_completed = 0;
   uint64_t observed_instructions = 0;
+  uint64_t hammocks_merged = 0;     // if-converted hammocks/diamonds
+  uint64_t hammock_rejects = 0;     // candidates declined (caps / capacity)
 };
 
 // The translator's complete checkpointable state: counters, the detection
@@ -167,6 +215,11 @@ struct TranslatorState {
   TranslatorStats stats;
   bool start_pending = true;
   bool extending = false;
+  // Hammock skip window: after a merge the already-placed arm instructions
+  // retire on the processor and must not be re-captured.
+  bool skipping = false;
+  uint32_t skip_lo = 0;
+  uint32_t skip_until = 0;
   std::optional<BuilderState> builder;
 };
 
@@ -204,11 +257,18 @@ class Translator {
   // too-short / finalized, extension begun / completed). Null disables.
   void set_event_stream(obs::EventStream* events) { events_ = events; }
 
+  // Attaches the static-code look-ahead used by hammock detection. Without
+  // a reader, predication is inert (no hammock is ever merged).
+  void set_code_reader(CodeReader reader) { code_reader_ = std::move(reader); }
+
  private:
   void finalize_capture(uint32_t end_pc);
   void abort_capture();
+  // Attempts to if-convert the hammock starting at `branch_pc`. On success
+  // the merged ops are in the builder and the skip window is armed.
+  bool try_hammock_merge(const isa::Instr& branch, uint32_t branch_pc);
   void emit(obs::EventKind kind, uint32_t config_pc, int32_t ops = 0,
-            int32_t depth = 0);
+            int32_t depth = 0, uint32_t branch_pc = 0);
 
   TranslatorParams params_;
   ReconfigCache* cache_;
@@ -216,8 +276,12 @@ class Translator {
   std::optional<ConfigBuilder> builder_;
   bool start_pending_ = true;  // program entry starts a sequence
   bool extending_ = false;
+  bool skipping_ = false;      // inside a merged hammock's retire window
+  uint32_t skip_lo_ = 0;
+  uint32_t skip_until_ = 0;
   TranslatorStats stats_;
   obs::EventStream* events_ = nullptr;  // not owned; null = tracing off
+  CodeReader code_reader_;              // null = no hammock look-ahead
 };
 
 }  // namespace dim::bt

@@ -46,7 +46,16 @@ namespace {
 //   $at       scratch (div operands, speculation-bait compares)
 class Gen {
  public:
-  Gen(Rng& rng, const GenOptions& options) : rng_(rng), options_(options) {}
+  Gen(Rng& rng, const GenOptions& options) : rng_(rng), options_(options) {
+    // Kind menu for emit_piece. The base grammar occupies 0..7 and is drawn
+    // with the same range() call it always used, so default options draw
+    // the exact statement stream they always have (a seed identifies a
+    // program forever); each enabled mode appends its entries.
+    for (int k = 0; k <= 7; ++k) menu_.push_back(k);
+    if (options.code_page_stores || options.smc_patch_stores) menu_.push_back(8);
+    if (options.hammocks) menu_.push_back(9);
+    if (options.nested_hammocks) menu_.push_back(10);
+  }
 
   FuzzProgram run() {
     emit_prologue();
@@ -116,12 +125,10 @@ class Gen {
   }
 
   void emit_piece(int depth) {
-    // The grammar only grows when a code-store mode is on, so default
-    // options draw the exact statement stream they always have (a seed
-    // identifies a program forever).
-    const int kinds = (options_.code_page_stores || options_.smc_patch_stores) ? 8 : 7;
-    switch (rng_.range(0, kinds)) {
+    switch (menu_[rng_.range(0, static_cast<int>(menu_.size()) - 1)]) {
       case 8: emit_code_store(); break;
+      case 9: emit_hammock(/*nested=*/false); break;
+      case 10: emit_hammock(/*nested=*/true); break;
       case 0: emit_alu_block(); break;
       case 1: emit_mult_block(); break;
       case 2: emit_div_block(); break;
@@ -281,6 +288,80 @@ class Gen {
 
   void emit_leaf_call() { instr("jal leaf"); }
 
+  // Hammock / diamond bait (see GenOptions::hammocks). The branch condition
+  // is data-dependent (pool registers), so both arms execute across the
+  // run and predicated write-back is exercised in both directions.
+  void emit_hammock(bool nested) {
+    const std::string arm2 = label("ham");
+    const std::string join = label("hjoin");
+    if (rng_.chance(70)) {
+      instr(std::string(rng_.chance(50) ? "beq " : "bne ") + treg() + ", " + treg() +
+            ", " + arm2);
+    } else {
+      static const char* kCmp[] = {"blez", "bgtz", "bltz", "bgez"};
+      instr(std::string(kCmp[rng_.range(0, 3)]) + " " + treg() + ", " + arm2);
+    }
+    if (nested) {
+      // A branch inside the arm: the arm scan rejects it, so the OUTER
+      // hammock must fall back to speculation — while the inner one stays
+      // mergeable on its own once retirement reaches it.
+      emit_hammock(/*nested=*/false);
+      labeled(arm2);
+      return;
+    }
+    emit_hammock_arm();
+    if (rng_.chance(50)) {
+      // Diamond: both arms exist, joined by an unconditional jump that
+      // if-conversion turns into a predicated join.
+      instr("b " + join);
+      labeled(arm2);
+      emit_hammock_arm();
+      labeled(join);
+    } else {
+      labeled(arm2);  // if-then: the branch target is the join
+    }
+  }
+
+  // One hammock arm. Short arms (the common draw) fit the translator's
+  // default cap; the long tail and the div draw force the fallback path.
+  // mult/mflo pairs route predication through HI/LO, sw through the store
+  // buffer suppression.
+  void emit_hammock_arm() {
+    const int n = rng_.chance(80) ? rng_.range(1, 3) : rng_.range(5, 7);
+    for (int i = 0; i < n; ++i) {
+      switch (rng_.range(0, 5)) {
+        case 0:
+          instr("addiu " + treg() + ", " + treg() + ", " +
+                std::to_string(rng_.range(-64, 64)));
+          break;
+        case 1:
+          instr("addu " + treg() + ", " + treg() + ", " + treg());
+          break;
+        case 2:
+          instr("xor " + treg() + ", " + treg() + ", " + treg());
+          break;
+        case 3:
+          instr("sw " + treg() + ", " + std::to_string(rng_.range(0, 31) * 4) +
+                "($s0)");
+          break;
+        case 4:
+          instr("mult " + treg() + ", " + treg());
+          instr("mflo " + treg());
+          break;
+        default:
+          if (rng_.chance(20)) {
+            instr("li $at, " + std::to_string(rng_.range(1, 99)));
+            instr("div " + treg() + ", $at");
+            instr("mflo " + treg());
+          } else {
+            instr("lw " + treg() + ", " + std::to_string(rng_.range(0, 31) * 4) +
+                  "($s4)");
+          }
+          break;
+      }
+    }
+  }
+
   // Stores into the program's own code pages (see GenOptions). The
   // same-word rewrite loads an instruction word and stores it back
   // unchanged; the patch variant copies a donor instruction word over a
@@ -312,6 +393,7 @@ class Gen {
   Rng& rng_;
   const GenOptions& options_;
   FuzzProgram program_;
+  std::vector<int> menu_;  // emit_piece kind menu (see constructor)
   int label_counter_ = 0;
 };
 

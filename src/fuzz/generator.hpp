@@ -86,6 +86,16 @@ struct GenOptions {
   // campaigns (both sides share the rcache behavior, whatever it is).
   bool code_page_stores = false;
   bool smc_patch_stores = false;
+  // Hammock bait for the if-conversion path: forward branches over short
+  // arms shaped like what the translator merges under predication —
+  // data-dependent conditions, arms with register writes, stores and
+  // HI/LO traffic, both if-then and diamond (two arms joined by an
+  // unconditional jump). Some draws deliberately exceed the arm cap or
+  // plant a div, so the speculation fallback is exercised alongside the
+  // merge. nested_hammocks additionally nests a hammock inside an arm
+  // (the outer one must then fall back; the inner stays mergeable).
+  bool hammocks = false;
+  bool nested_hammocks = false;
 };
 
 // Deterministic: generate_program(s, o) is the same program forever.

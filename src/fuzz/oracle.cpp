@@ -65,6 +65,18 @@ std::vector<MatrixPoint> full_matrix() {
   add_shape_points(out, "shape1", rra::ArrayShape::config1());
   add_shape_points(out, "shape2", rra::ArrayShape::config2());
   add_shape_points(out, "tiny", rra::ArrayShape{6, 3, 1, 1});
+  // The predication axis: every point again with if-conversion and loop
+  // residency on ("…/pred"), doubling the grid to 36 points. Residency is
+  // timing-only and predication must be transparent, so every /pred point
+  // answers to the same oracles as its base point.
+  const size_t base_points = out.size();
+  for (size_t i = 0; i < base_points; ++i) {
+    MatrixPoint p = out[i];
+    p.label += "/pred";
+    p.config.predication = true;
+    p.config.residency = accel::Residency::kLoop;
+    out.push_back(std::move(p));
+  }
   return out;
 }
 
@@ -82,6 +94,16 @@ std::vector<MatrixPoint> quick_matrix() {
   out.push_back(p);
   p.label = "shape2/lru64/spec3";
   p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, true, 3);
+  out.push_back(p);
+  p.label = "shape1/fifo4/spec3/pred";
+  p.config = make_config(rra::ArrayShape::config1(), 4, bt::Replacement::kFifo, true, 3);
+  p.config.predication = true;
+  p.config.residency = accel::Residency::kLoop;
+  out.push_back(p);
+  p.label = "shape2/lru64/nospec/pred";
+  p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, false, 3);
+  p.config.predication = true;
+  p.config.residency = accel::Residency::kLoop;
   out.push_back(p);
   return out;
 }

@@ -28,9 +28,11 @@ struct MatrixPoint {
 };
 
 // The full default matrix: 3 array shapes x {FIFO-4, LRU-64} rcache x
-// {spec off, depth 1, depth 3}. 18 points.
+// {spec off, depth 1, depth 3}, each with and without predication +
+// loop residency ("…/pred"). 36 points.
 std::vector<MatrixPoint> full_matrix();
-// A 4-point subset for smoke tests and per-candidate shrink checks.
+// A 6-point subset for smoke tests and per-candidate shrink checks
+// (4 base points + 2 predication points).
 std::vector<MatrixPoint> quick_matrix();
 
 enum class DivergenceField : uint8_t {

@@ -17,6 +17,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kMisspeculation: return "misspeculation";
     case EventKind::kExtensionBegun: return "extension_begun";
     case EventKind::kExtensionCompleted: return "extension_completed";
+    case EventKind::kHammockMerged: return "hammock_merged";
+    case EventKind::kResidencyHit: return "residency_hit";
+    case EventKind::kResidencyDropped: return "residency_dropped";
   }
   return "unknown";
 }
@@ -27,7 +30,7 @@ void write_events_jsonl(std::ostream& out, const std::vector<Event>& events) {
         << e.config_pc << ", \"instructions\": " << e.instructions
         << ", \"proc_cycles\": " << e.proc_cycles << ", \"array_cycles\": "
         << e.array_cycles;
-    if (e.kind == EventKind::kMisspeculation) {
+    if (e.kind == EventKind::kMisspeculation || e.kind == EventKind::kHammockMerged) {
       out << ", \"branch_pc\": " << e.branch_pc;
     }
     if (e.depth != 0) out << ", \"depth\": " << e.depth;
@@ -50,7 +53,7 @@ std::string format_event(const Event& e) {
                     event_kind_name(e.kind);
   if (e.ops != 0) out += " ops=" + std::to_string(e.ops);
   if (e.depth != 0) out += " depth=" + std::to_string(e.depth);
-  if (e.kind == EventKind::kMisspeculation) {
+  if (e.kind == EventKind::kMisspeculation || e.kind == EventKind::kHammockMerged) {
     std::snprintf(pc, sizeof(pc), "0x%08x", e.branch_pc);
     out += std::string(" branch=") + pc;
   }

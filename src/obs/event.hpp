@@ -37,6 +37,9 @@ enum class EventKind : uint8_t {
   kMisspeculation,      // a speculated branch resolved against its prediction
   kExtensionBegun,      // speculation extension of a cached config started
   kExtensionCompleted,  // the extended configuration was re-inserted
+  kHammockMerged,       // if-conversion merged a hammock (branch_pc = branch)
+  kResidencyHit,        // re-dispatch of the array-resident configuration
+  kResidencyDropped,    // residency invalidated (SMC overlap / replacement)
 };
 
 const char* event_kind_name(EventKind kind);

@@ -51,6 +51,15 @@ void ProfileTable::add(const Event& event) {
     case EventKind::kExtensionCompleted:
       ++p.extensions_completed;
       break;
+    case EventKind::kHammockMerged:
+      ++p.hammocks_merged;
+      break;
+    case EventKind::kResidencyHit:
+      ++p.residency_hits;
+      break;
+    case EventKind::kResidencyDropped:
+      ++p.residency_drops;
+      break;
   }
 }
 
@@ -78,6 +87,9 @@ void ProfileTable::add_profile(const ConfigProfile& o) {
   p.flushes += o.flushes;
   p.extensions_begun += o.extensions_begun;
   p.extensions_completed += o.extensions_completed;
+  p.hammocks_merged += o.hammocks_merged;
+  p.residency_hits += o.residency_hits;
+  p.residency_drops += o.residency_drops;
 }
 
 const ConfigProfile* ProfileTable::find(uint32_t start_pc) const {
@@ -143,6 +155,9 @@ void write_profile_json(std::ostream& out, const ProfileTable& table) {
     out << ", \"flushes\": " << p.flushes;
     out << ", \"extensions_begun\": " << p.extensions_begun;
     out << ", \"extensions_completed\": " << p.extensions_completed;
+    out << ", \"hammocks_merged\": " << p.hammocks_merged;
+    out << ", \"residency_hits\": " << p.residency_hits;
+    out << ", \"residency_drops\": " << p.residency_drops;
     out << "}";
   }
   out << "\n  ],\n";

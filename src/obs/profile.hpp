@@ -45,6 +45,11 @@ struct ConfigProfile {
   uint64_t extensions_begun = 0;
   uint64_t extensions_completed = 0;
 
+  // Control flow beyond speculation (PR 9).
+  uint64_t hammocks_merged = 0;
+  uint64_t residency_hits = 0;
+  uint64_t residency_drops = 0;
+
   uint64_t array_cycles() const {
     return exec_cycles + reconfig_stall_cycles + dcache_stall_cycles +
            finalize_cycles + misspec_penalty_cycles;

@@ -65,9 +65,11 @@ class StoreBuffer {
 ArrayExecOutcome execute_configuration(const Configuration& config,
                                        sim::CpuState& state, mem::Memory& memory,
                                        mem::Cache* dcache,
-                                       const ArrayTimingParams& timing) {
+                                       const ArrayTimingParams& timing,
+                                       bool resident) {
   ArrayExecOutcome out;
-  out.reconfig_stall_cycles = reconfig_stall_cycles(config, timing);
+  out.reconfig_stall_cycles = resident ? resident_stall_cycles(config, timing)
+                                       : reconfig_stall_cycles(config, timing);
 
   // Context: 32 GPRs + HI + LO, loaded from the register bank.
   std::array<uint32_t, kNumCtxRegs> ctx{};
@@ -84,11 +86,52 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
   // the squashed suffix never produced a result to write back.
   std::bitset<kNumCtxRegs> committed_writes;
 
+  // Predicate slots written by pred-defining branches (if-conversion).
+  std::array<bool, kMaxPredSlots> pred{};
+
   for (const ArrayOp& op : config.ops) {
     const Instr& i = op.instr;
     const uint32_t rs = ctx[i.rs];
     const uint32_t rt = ctx[i.rt];
     last_row = std::max(last_row, op.row);
+
+    if (op.is_pred_def) {
+      // Hammock branch: both arms are placed, so it cannot misspeculate. It
+      // just latches its condition into the predicate slot and retires.
+      ++out.committed_ops;
+      ++out.alu_ops;
+      const bool taken = sim::branch_taken(i, rs, rt);
+      pred[static_cast<size_t>(op.pred_slot)] = taken;
+      out.branch_outcomes.push_back(BranchOutcome{op.pc, taken, true});
+      continue;
+    }
+
+    const bool active =
+        op.pred_slot < 0 || pred[static_cast<size_t>(op.pred_slot)] == op.pred_when_taken;
+
+    if (op.is_join_jump) {
+      // Diamond-internal `b join`: the FU evaluates it either way, but it
+      // retires (and reaches the predictor) only on the fall-through arm —
+      // the software path never fetches it when the hammock branch is taken.
+      ++out.alu_ops;
+      if (active) {
+        ++out.committed_ops;
+        out.branch_outcomes.push_back(BranchOutcome{op.pc, true, true});
+      }
+      continue;
+    }
+
+    if (!active) {
+      // Squashed arm: the FU still toggles (it is physically wired into the
+      // row), but register/HI-LO writeback, stores and cache traffic are all
+      // suppressed and the op does not retire.
+      if (isa::fu_kind(i.op) == isa::FuKind::kMul) {
+        ++out.mul_ops;
+      } else if (isa::fu_kind(i.op) != isa::FuKind::kLdSt) {
+        ++out.alu_ops;
+      }
+      continue;
+    }
     ++out.committed_ops;
 
     if (op.is_branch) {
@@ -113,7 +156,17 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
         ++out.mem_ops;
         if (isa::is_store(i.op)) {
           ++out.stores;
-          store_buffer.store(addr, sim::mem_width(i.op), rt);
+          const int width = sim::mem_width(i.op);
+          store_buffer.store(addr, width, rt);
+          const uint32_t end = addr + static_cast<uint32_t>(width);
+          if (!out.wrote_memory) {
+            out.wrote_memory = true;
+            out.store_lo = addr;
+            out.store_hi = end;
+          } else {
+            out.store_lo = std::min(out.store_lo, addr);
+            out.store_hi = std::max(out.store_hi, end);
+          }
         } else {
           ++out.loads;
           const int width = sim::mem_width(i.op);

@@ -51,15 +51,23 @@ struct ArrayExecOutcome {
   int mem_ops = 0;
   int loads = 0;
   int stores = 0;
+
+  // Address range covered by the drained stores (for residency SMC checks).
+  bool wrote_memory = false;
+  uint32_t store_lo = 0;
+  uint32_t store_hi = 0;  // exclusive
 };
 
 // Executes `config` against the architectural state. On return the state
 // (registers, HI/LO, memory) reflects every committed basic block and
 // `next_pc` tells the processor where to resume. `dcache`, when non-null,
-// is consulted for load/store stall cycles.
+// is consulted for load/store stall cycles. `resident` charges the cheaper
+// resident_stall_cycles (configuration bits already latched in the array)
+// instead of a full reconfiguration — timing only, semantics unchanged.
 ArrayExecOutcome execute_configuration(const Configuration& config,
                                        sim::CpuState& state, mem::Memory& memory,
                                        mem::Cache* dcache,
-                                       const ArrayTimingParams& timing);
+                                       const ArrayTimingParams& timing,
+                                       bool resident = false);
 
 }  // namespace dim::rra

@@ -65,4 +65,13 @@ uint64_t reconfig_stall_cycles(const Configuration& config,
   return stall > 0 ? static_cast<uint64_t>(stall) : 0;
 }
 
+uint64_t resident_stall_cycles(const Configuration& config,
+                               const ArrayTimingParams& timing) {
+  // The configuration words are already latched in the array; only the
+  // operand fetch remains, still overlapped with the pipeline front-end.
+  const int64_t fetch_cycles = ceil_div(config.input_regs, timing.regfile_read_ports);
+  const int64_t stall = fetch_cycles - timing.reconfig_overlap_cycles;
+  return stall > 0 ? static_cast<uint64_t>(stall) : 0;
+}
+
 }  // namespace dim::rra

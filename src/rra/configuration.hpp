@@ -24,6 +24,9 @@ int array_dests(const isa::Instr& i, int out[2]);
 
 enum class RowKind : uint8_t { kAlu, kMul, kMem };
 
+// Upper bound on predicate slots per configuration (if-converted hammocks).
+inline constexpr int kMaxPredSlots = 8;
+
 // One placed operation. Conditional branches are placed too (they evaluate
 // their condition on an ALU and guard the basic blocks that follow).
 struct ArrayOp {
@@ -35,6 +38,16 @@ struct ArrayOp {
   int bb_index = 0;  // 0 = non-speculative part, >0 = speculation depth
   bool is_branch = false;
   bool predicted_taken = false;  // only for branches
+
+  // If-conversion (hammock merging). A predicate-defining branch evaluates
+  // its condition into `pred_slot` and never misspeculates; ops guarded by a
+  // slot execute on the array but write back (registers, HI/LO, stores) only
+  // when the slot's value equals `pred_when_taken`. The join jump of a
+  // diamond (`b join`) retires only on the fall-through arm.
+  int pred_slot = -1;            // -1 = unpredicated
+  bool pred_when_taken = false;  // arm is active when slot == this
+  bool is_pred_def = false;      // branch writes pred_slot instead of guarding
+  bool is_join_jump = false;     // diamond-internal unconditional jump
 };
 
 struct Configuration {
@@ -47,10 +60,15 @@ struct Configuration {
   int input_regs = 0;              // context registers fetched at start
   int output_regs = 0;             // context registers written back
   int immediates = 0;
+  int pred_slots = 0;              // predicate slots used by if-conversion
 
   // Lifecycle flags managed by the accelerated system.
   int misspec_count = 0;
   bool no_extend = false;  // speculation extension failed; don't retry
+
+  // Monotone stamp assigned by the rcache on insert/preload; a loop-resident
+  // dispatch is valid only while the cached entry's revision still matches.
+  uint64_t revision = 0;
 
   int instruction_count() const { return static_cast<int>(ops.size()); }
 };
@@ -65,6 +83,12 @@ uint64_t rows_exec_cycles(const Configuration& config, int last_row,
 // processor sees ("in cases three cycles are not enough ... the processor
 // will be stalled").
 uint64_t reconfig_stall_cycles(const Configuration& config,
+                               const ArrayTimingParams& timing);
+
+// Stall for re-dispatching a configuration that is already resident in the
+// array (loop residency): the configuration bits need no reload, only the
+// input operands are fetched again.
+uint64_t resident_stall_cycles(const Configuration& config,
                                const ArrayTimingParams& timing);
 
 }  // namespace dim::rra

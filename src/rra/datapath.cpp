@@ -26,6 +26,10 @@ RoutedConfig route(const Configuration& config) {
     station.is_branch = op.is_branch;
     station.predicted_taken = op.predicted_taken;
     station.bb_index = op.bb_index;
+    station.pred_slot = op.pred_slot;
+    station.pred_when_taken = op.pred_when_taken;
+    station.is_pred_def = op.is_pred_def;
+    station.is_join_jump = op.is_join_jump;
 
     // Input muxes: operand k listens to the bus line of its source
     // register ($zero listens to the hard-wired zero line 0).
@@ -105,6 +109,8 @@ StructuralOutcome execute_structural(const RoutedConfig& routed,
 
   StoreQueue stores;
   uint32_t next_pc = routed.end_pc;
+  // Predicate lines latched by pred-defining branches (if-conversion).
+  std::array<bool, kMaxPredSlots> pred{};
 
   // Stations retire in program order; operands arrive exclusively through
   // the routed input muxes — never by register name — so this run proves
@@ -112,6 +118,21 @@ StructuralOutcome execute_structural(const RoutedConfig& routed,
   for (const FuStation& st : routed.stations) {
     const uint32_t a = st.in_sel[0] >= 0 ? bus[static_cast<size_t>(st.in_sel[0])] : 0;
     const uint32_t b = st.in_sel[1] >= 0 ? bus[static_cast<size_t>(st.in_sel[1])] : 0;
+
+    if (st.is_pred_def) {
+      // Hammock branch: latches its condition onto a predicate line; both
+      // arms are wired below it, so it never redirects the PC.
+      ++out.committed_ops;
+      pred[static_cast<size_t>(st.pred_slot)] = sim::branch_taken(st.instr, a, b);
+      continue;
+    }
+    const bool active =
+        st.pred_slot < 0 || pred[static_cast<size_t>(st.pred_slot)] == st.pred_when_taken;
+    if (st.is_join_jump) {
+      if (active) ++out.committed_ops;  // retires only on the fall-through arm
+      continue;
+    }
+    if (!active) continue;  // output muxes and store port gated off
     ++out.committed_ops;
 
     if (st.is_branch) {

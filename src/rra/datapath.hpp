@@ -39,6 +39,13 @@ struct FuStation {
   bool is_branch = false;
   bool predicted_taken = false;
   int bb_index = 0;
+
+  // If-conversion: predicate wiring mirrors ArrayOp. A guarded station's
+  // output muxes (and store-queue port) are gated by its predicate line.
+  int pred_slot = -1;
+  bool pred_when_taken = false;
+  bool is_pred_def = false;
+  bool is_join_jump = false;
 };
 
 // The fully-routed datapath for one configuration.

@@ -59,6 +59,9 @@ void encode_translation_knobs(Writer& w, const accel::SystemConfig& c) {
   std::sort(starts.begin(), starts.end());
   w.u64(starts.size());
   for (uint32_t pc : starts) w.u32(pc);
+  w.boolean(c.predication);
+  w.i32(c.max_hammock_ops);
+  w.i32(c.max_pred_slots);
   w.u8(static_cast<uint8_t>(c.fault_injection));
 }
 
@@ -91,6 +94,7 @@ uint64_t system_fingerprint(const accel::SystemConfig& config) {
   w.i32(config.array_timing.misspec_penalty);
   w.u64(config.cache_slots);
   w.u8(static_cast<uint8_t>(config.cache_replacement));
+  w.u8(static_cast<uint8_t>(config.residency));
   w.i32(config.misspec_flush_threshold);
   w.u64(config.translation_cost_per_instr);
   w.boolean(config.array_enabled);
@@ -144,6 +148,9 @@ void put_stats(Writer& w, const accel::AccelStats& stats) {
   w.u64(stats.rcache_insertions);
   w.u64(stats.rcache_evictions);
   w.u64(stats.bt_observed);
+  w.u64(stats.hammocks_merged);
+  w.u64(stats.residency_hits);
+  w.u64(stats.residency_drops);
   w.u64(stats.array_alu_ops);
   w.u64(stats.array_mul_ops);
   w.u64(stats.array_mem_ops);
@@ -177,6 +184,9 @@ accel::AccelStats get_stats(Reader& r) {
   stats.rcache_insertions = r.u64();
   stats.rcache_evictions = r.u64();
   stats.bt_observed = r.u64();
+  stats.hammocks_merged = r.u64();
+  stats.residency_hits = r.u64();
+  stats.residency_drops = r.u64();
   stats.array_alu_ops = r.u64();
   stats.array_mul_ops = r.u64();
   stats.array_mem_ops = r.u64();
@@ -204,6 +214,10 @@ void put_array_op(Writer& w, const rra::ArrayOp& op) {
   w.i32(op.bb_index);
   w.boolean(op.is_branch);
   w.boolean(op.predicted_taken);
+  w.i32(op.pred_slot);
+  w.boolean(op.pred_when_taken);
+  w.boolean(op.is_pred_def);
+  w.boolean(op.is_join_jump);
 }
 
 rra::ArrayOp get_array_op(Reader& r) {
@@ -233,7 +247,17 @@ rra::ArrayOp get_array_op(Reader& r) {
   op.bb_index = r.i32();
   op.is_branch = r.boolean();
   op.predicted_taken = r.boolean();
+  op.pred_slot = r.i32();
+  op.pred_when_taken = r.boolean();
+  op.is_pred_def = r.boolean();
+  op.is_join_jump = r.boolean();
   if (op.row < 0 || op.col < 0 || op.bb_index < 0) r.fail("negative placement field");
+  if (op.pred_slot < -1 || op.pred_slot >= rra::kMaxPredSlots) {
+    r.fail("predicate slot out of range");
+  }
+  if (op.pred_slot < 0 && (op.is_pred_def || op.pred_when_taken)) {
+    r.fail("predicate flags without a slot");
+  }
   return op;
 }
 
@@ -246,6 +270,8 @@ void put_configuration(Writer& w, const rra::Configuration& config) {
   w.i32(config.immediates);
   w.i32(config.misspec_count);
   w.boolean(config.no_extend);
+  w.i32(config.pred_slots);
+  w.u64(config.revision);
   w.i32(config.rows_used);
   w.u64(config.row_kinds.size());
   for (rra::RowKind k : config.row_kinds) w.u8(static_cast<uint8_t>(k));
@@ -263,10 +289,15 @@ rra::Configuration get_configuration(Reader& r) {
   config.immediates = r.i32();
   config.misspec_count = r.i32();
   config.no_extend = r.boolean();
+  config.pred_slots = r.i32();
+  config.revision = r.u64();
   config.rows_used = r.i32();
   if (config.num_bbs < 1 || config.rows_used < 0 || config.input_regs < 0 ||
       config.output_regs < 0 || config.immediates < 0) {
     r.fail("negative configuration header field");
+  }
+  if (config.pred_slots < 0 || config.pred_slots > rra::kMaxPredSlots) {
+    r.fail("predicate slot count out of range");
   }
   const uint64_t nrows = r.u64();
   r.expect_count(nrows, 1);
@@ -282,7 +313,7 @@ rra::Configuration get_configuration(Reader& r) {
     config.row_kinds.push_back(static_cast<rra::RowKind>(k));
   }
   const uint64_t nops = r.u64();
-  r.expect_count(nops, 28);  // serialized ArrayOp size
+  r.expect_count(nops, 35);  // serialized ArrayOp size
   config.ops.reserve(nops);
   for (uint64_t i = 0; i < nops; ++i) {
     rra::ArrayOp op = get_array_op(r);
@@ -314,13 +345,16 @@ void put_profile(Writer& w, const obs::ProfileTable& table) {
     w.u64(p.flushes);
     w.u64(p.extensions_begun);
     w.u64(p.extensions_completed);
+    w.u64(p.hammocks_merged);
+    w.u64(p.residency_hits);
+    w.u64(p.residency_drops);
   }
 }
 
 obs::ProfileTable get_profile(Reader& r) {
   obs::ProfileTable table;
   const uint64_t count = r.u64();
-  r.expect_count(count, 4 + 17 * 8);
+  r.expect_count(count, 4 + 20 * 8);
   for (uint64_t i = 0; i < count; ++i) {
     obs::ConfigProfile p;
     p.start_pc = r.u32();
@@ -341,6 +375,9 @@ obs::ProfileTable get_profile(Reader& r) {
     p.flushes = r.u64();
     p.extensions_begun = r.u64();
     p.extensions_completed = r.u64();
+    p.hammocks_merged = r.u64();
+    p.residency_hits = r.u64();
+    p.residency_drops = r.u64();
     table.add_profile(p);
   }
   return table;

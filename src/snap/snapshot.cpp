@@ -68,13 +68,14 @@ void put_builder(Writer& w, const bt::BuilderState& b) {
   w.i32(b.last_store_row);
   w.i32(b.bb);
   w.i32(b.immediates);
+  w.i32(b.pred_slots);
 }
 
 bt::BuilderState get_builder(Reader& r) {
   bt::BuilderState b;
   b.start_pc = r.u32();
   const uint64_t nops = r.u64();
-  r.expect_count(nops, 28);  // serialized ArrayOp size
+  r.expect_count(nops, 35);  // serialized ArrayOp size
   b.ops.reserve(nops);
   for (uint64_t i = 0; i < nops; ++i) b.ops.push_back(get_array_op(r));
   const uint64_t nrows = r.u64();
@@ -90,7 +91,10 @@ bt::BuilderState get_builder(Reader& r) {
   b.last_store_row = r.i32();
   b.bb = r.i32();
   b.immediates = r.i32();
-  if (b.bb < 0 || b.immediates < 0) r.fail("negative builder counter");
+  b.pred_slots = r.i32();
+  if (b.bb < 0 || b.immediates < 0 || b.pred_slots < 0) {
+    r.fail("negative builder counter");
+  }
   return b;
 }
 
@@ -111,6 +115,11 @@ struct SnapshotData {
   uint32_t extension_config_pc = 0;
   uint32_t extension_branch_pc = 0;
   uint64_t array_cycle_acc = 0;
+  bool has_resident = false;
+  uint32_t resident_pc = 0;
+  uint64_t resident_rev = 0;
+  uint32_t resident_lo = 0;
+  uint32_t resident_hi = 0;
 };
 
 SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
@@ -170,8 +179,9 @@ SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
   d.rcache_counters.evictions = r.u64();
   d.rcache_counters.flushes = r.u64();
   d.rcache_counters.words_written = r.u64();
+  d.rcache_counters.revision_counter = r.u64();
   const uint64_t nentries = r.u64();
-  r.expect_count(nentries, 38);  // minimum serialized Configuration size
+  r.expect_count(nentries, 50);  // minimum serialized Configuration size
   d.rcache_entries.reserve(nentries);
   for (uint64_t i = 0; i < nentries; ++i) {
     d.rcache_entries.push_back(get_configuration(r));
@@ -184,11 +194,19 @@ SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
   d.xlate.stats.too_short = r.u64();
   d.xlate.stats.extensions_completed = r.u64();
   d.xlate.stats.observed_instructions = r.u64();
+  d.xlate.stats.hammocks_merged = r.u64();
+  d.xlate.stats.hammock_rejects = r.u64();
   d.xlate.start_pending = r.boolean();
   d.xlate.extending = r.boolean();
+  d.xlate.skipping = r.boolean();
+  d.xlate.skip_lo = r.u32();
+  d.xlate.skip_until = r.u32();
   if (r.boolean()) d.xlate.builder = get_builder(r);
   if (d.xlate.extending && !d.xlate.builder.has_value()) {
     r.fail("extension flagged without an in-flight capture");
+  }
+  if (d.xlate.skipping && !d.xlate.builder.has_value()) {
+    r.fail("hammock skip window without an in-flight capture");
   }
 
   expect_section(r, kSecStats);
@@ -199,6 +217,14 @@ SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
   d.extension_config_pc = r.u32();
   d.extension_branch_pc = r.u32();
   d.array_cycle_acc = r.u64();
+  d.has_resident = r.boolean();
+  d.resident_pc = r.u32();
+  d.resident_rev = r.u64();
+  d.resident_lo = r.u32();
+  d.resident_hi = r.u32();
+  if (d.has_resident && d.resident_lo >= d.resident_hi) {
+    r.fail("empty resident code range");
+  }
 
   if (!r.done()) r.fail("trailing bytes after final section");
   return d;
@@ -253,6 +279,7 @@ std::vector<uint8_t> encode_snapshot(const accel::AcceleratedSystem& system,
   w.u64(rc.evictions);
   w.u64(rc.flushes);
   w.u64(rc.words_written);
+  w.u64(rc.revision_counter);
   const auto entries = SystemAccess::rcache(system).export_entries();
   w.u64(entries.size());
   for (const rra::Configuration& config : entries) put_configuration(w, config);
@@ -265,8 +292,13 @@ std::vector<uint8_t> encode_snapshot(const accel::AcceleratedSystem& system,
   w.u64(xlate.stats.too_short);
   w.u64(xlate.stats.extensions_completed);
   w.u64(xlate.stats.observed_instructions);
+  w.u64(xlate.stats.hammocks_merged);
+  w.u64(xlate.stats.hammock_rejects);
   w.boolean(xlate.start_pending);
   w.boolean(xlate.extending);
+  w.boolean(xlate.skipping);
+  w.u32(xlate.skip_lo);
+  w.u32(xlate.skip_until);
   w.boolean(xlate.builder.has_value());
   if (xlate.builder.has_value()) put_builder(w, *xlate.builder);
 
@@ -278,6 +310,11 @@ std::vector<uint8_t> encode_snapshot(const accel::AcceleratedSystem& system,
   w.u32(SystemAccess::extension_config_pc(system));
   w.u32(SystemAccess::extension_branch_pc(system));
   w.u64(SystemAccess::array_cycle_acc(system));
+  w.boolean(SystemAccess::has_resident(system));
+  w.u32(SystemAccess::resident_pc(system));
+  w.u64(SystemAccess::resident_rev(system));
+  w.u32(SystemAccess::resident_lo(system));
+  w.u32(SystemAccess::resident_hi(system));
 
   return w.take();
 }
@@ -328,6 +365,8 @@ void restore_snapshot_payload(accel::AcceleratedSystem& system,
   SystemAccess::set_extension(system, d.extension_candidate,
                               d.extension_config_pc, d.extension_branch_pc);
   SystemAccess::set_array_cycle_acc(system, d.array_cycle_acc);
+  SystemAccess::set_residency_latch(system, d.has_resident, d.resident_pc,
+                                    d.resident_rev, d.resident_lo, d.resident_hi);
   // restore_pages invalidated every page pointer and replaced the image;
   // drop all host-side decoded state (decode cache, superblock traces).
   SystemAccess::clear_host_caches(system);

@@ -80,6 +80,31 @@ struct SystemAccess {
     s.array_cycle_acc_ = v;
   }
 
+  static bool has_resident(const accel::AcceleratedSystem& s) {
+    return s.has_resident_;
+  }
+  static uint32_t resident_pc(const accel::AcceleratedSystem& s) {
+    return s.resident_pc_;
+  }
+  static uint64_t resident_rev(const accel::AcceleratedSystem& s) {
+    return s.resident_rev_;
+  }
+  static uint32_t resident_lo(const accel::AcceleratedSystem& s) {
+    return s.resident_lo_;
+  }
+  static uint32_t resident_hi(const accel::AcceleratedSystem& s) {
+    return s.resident_hi_;
+  }
+  static void set_residency_latch(accel::AcceleratedSystem& s, bool has,
+                                  uint32_t pc, uint64_t rev, uint32_t lo,
+                                  uint32_t hi) {
+    s.has_resident_ = has;
+    s.resident_pc_ = pc;
+    s.resident_rev_ = rev;
+    s.resident_lo_ = lo;
+    s.resident_hi_ = hi;
+  }
+
   // Restoring replaces the memory image wholesale (restore_pages
   // invalidates page pointers) — both host-side caches must forget
   // everything they decoded from the old image. Architecture-invisible:

@@ -21,7 +21,7 @@ WarmStartData parse_warm_start(const std::vector<uint8_t>& payload) {
   d.program_hash = r.u64();
   d.translation_fingerprint = r.u64();
   const uint64_t count = r.u64();
-  r.expect_count(count, 38);  // minimum serialized Configuration size
+  r.expect_count(count, 50);  // minimum serialized Configuration size
   d.entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     d.entries.push_back(get_configuration(r));

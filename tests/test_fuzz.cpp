@@ -277,5 +277,104 @@ TEST(FuzzDispatch, OracleRejectsUnassemblableSource) {
   EXPECT_FALSE(r.divergence.found);
 }
 
+// --- Hammock / predication axis ----------------------------------------------
+
+TEST(FuzzGenerator, HammockModesAreDeterministicAndAssemble) {
+  GenOptions gen;
+  gen.hammocks = true;
+  gen.nested_hammocks = true;
+  const int seeds = seed_budget(30);
+  for (int s = 0; s < seeds; ++s) {
+    const FuzzProgram a = generate_program(static_cast<uint64_t>(s), gen);
+    const FuzzProgram b = generate_program(static_cast<uint64_t>(s), gen);
+    EXPECT_EQ(a.render(), b.render()) << "seed " << s;
+    EXPECT_NO_THROW(asmblr::assemble(a.render())) << "seed " << s;
+  }
+}
+
+TEST(FuzzGenerator, HammockModeActuallyEmitsHammocks) {
+  // The mode must not be decorative: across a seed range, most seeds draw
+  // at least one hammock piece (visible as the generator's ham/hjoin
+  // labels), and base-mode programs never contain one.
+  GenOptions ham;
+  ham.hammocks = true;
+  int with_hammock = 0;
+  for (uint64_t s = 0; s < 40; ++s) {
+    EXPECT_EQ(generate_program(s).render().find("ham"), std::string::npos)
+        << "seed " << s << ": base mode emitted a hammock";
+    if (generate_program(s, ham).render().find("hjoin") != std::string::npos) {
+      ++with_hammock;
+    }
+  }
+  EXPECT_GT(with_hammock, 10) << "hammock pieces drawn too rarely";
+}
+
+TEST(FuzzGenerator, HammockModeEmitsMergeEligibleDiamonds) {
+  // Coverage gate for the whole axis: across the seed budget, the hammock
+  // bait must actually drive the translator's merge path (not only the
+  // fallback), observed as if-converted hammocks on a predication-enabled
+  // system. A generator regression that stops emitting merge-eligible
+  // shapes fails here rather than silently weakening the campaigns.
+  GenOptions gen;
+  gen.hammocks = true;
+  gen.nested_hammocks = true;
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  cfg.predication = true;
+  cfg.residency = accel::Residency::kLoop;
+  cfg.machine.max_instructions = 300000;
+  const int seeds = seed_budget(20);
+  uint64_t merged = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const FuzzProgram p = generate_program(static_cast<uint64_t>(s), gen);
+    const auto st = accel::run_accelerated(asmblr::assemble(p.render()), cfg);
+    merged += st.hammocks_merged;
+  }
+  EXPECT_GT(merged, 0u) << "no seed produced a merge-eligible hammock";
+}
+
+TEST(FuzzOracle, HammockProgramsTransparentAcrossPredicationAxis) {
+  // The widened matrix (quick_matrix carries predication+residency points)
+  // against hammock-bait programs: merge, cap-fallback and nested-fallback
+  // paths must all stay architecturally transparent.
+  GenOptions gen;
+  gen.hammocks = true;
+  gen.nested_hammocks = true;
+  const int seeds = seed_budget(10);
+  for (int s = 0; s < seeds; ++s) {
+    const FuzzProgram p = generate_program(static_cast<uint64_t>(s), gen);
+    const OracleResult r = check_program(p.render(), quick_matrix());
+    EXPECT_FALSE(r.inconclusive) << "seed " << s << ": " << r.inconclusive_reason;
+    EXPECT_FALSE(r.divergence.found)
+        << "seed " << s << " diverged at " << r.divergence.point_label << ": "
+        << r.divergence.detail;
+  }
+}
+
+TEST(FuzzDispatch, HammockCampaignCleanAndThreadInvariant) {
+  // Fast-vs-slow dispatch with the hammock modes on top of both code-store
+  // modes: cycle accounting of predicated configs and the residency latch
+  // must be bit-identical across dispatch paths and thread counts.
+  CampaignOptions options;
+  options.seeds = seed_budget(15);
+  options.matrix = quick_matrix();
+  options.gen.hammocks = true;
+  options.gen.nested_hammocks = true;
+  options.gen.code_page_stores = true;
+  options.gen.smc_patch_stores = true;
+
+  options.threads = 1;
+  const CampaignResult one = run_dispatch_campaign(options);
+  EXPECT_TRUE(one.clean()) << one.divergent_seeds << " divergent seeds";
+  EXPECT_EQ(one.inconclusive_seeds, 0);
+
+  options.threads = 4;
+  const CampaignResult four = run_dispatch_campaign(options);
+  std::ostringstream json_one, json_four;
+  write_campaign_json(json_one, one);
+  write_campaign_json(json_four, four);
+  EXPECT_EQ(json_one.str(), json_four.str());
+}
+
 }  // namespace
 }  // namespace dim::fuzz

@@ -229,10 +229,197 @@ TEST(ObsEvents, EventKindNamesAreUnique) {
       obs::EventKind::kRcacheInsert, obs::EventKind::kRcacheEvict,
       obs::EventKind::kRcacheFlush, obs::EventKind::kArrayActivation,
       obs::EventKind::kMisspeculation, obs::EventKind::kExtensionBegun,
-      obs::EventKind::kExtensionCompleted};
+      obs::EventKind::kExtensionCompleted, obs::EventKind::kHammockMerged,
+      obs::EventKind::kResidencyHit, obs::EventKind::kResidencyDropped};
   std::set<std::string> names;
   for (obs::EventKind k : kinds) names.insert(obs::event_kind_name(k));
   EXPECT_EQ(names.size(), std::size(kinds));
+}
+
+// --- Loop residency lifecycle ------------------------------------------------
+
+// A loop shaped so the speculative extension closes the capture exactly at
+// the loop head (end_pc == start_pc): with one ALU per line and five lines,
+// the four-op dependence chain plus the merged backward branch fill the
+// array, so the next iteration's first op does not fit and the extension
+// finalizes at the loop-start PC. That is the backward-branch-closed shape
+// Residency::kLoop latches.
+const char* kResidentLoop = R"(
+main:   li $s1, 300
+loop:   addiu $s1, $s1, -1
+        addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        bnez $s1, loop
+        move $a0, $s1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+
+accel::SystemConfig narrow_config(accel::Residency residency) {
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape{5, 1, 1, 1}, 64, true);
+  cfg.residency = residency;
+  // Small configs hide entirely behind the default reconfiguration overlap;
+  // slow the configuration-word bus down so the reload a resident dispatch
+  // skips is actually visible in the cycle count (same timing both runs).
+  cfg.array_timing.config_words_per_cycle = 1;
+  cfg.array_timing.reconfig_overlap_cycles = 0;
+  return cfg;
+}
+
+TEST(ObsResidency, HotLoopConfigIsReusedWithoutReload) {
+  const auto prog = asmblr::assemble(kResidentLoop);
+  accel::SystemConfig cfg = narrow_config(accel::Residency::kLoop);
+  obs::RecordingSink sink;
+  cfg.event_sink = &sink;
+  const auto on = accel::run_accelerated(prog, cfg);
+  ASSERT_GT(on.residency_hits, 0u) << "loop config never stayed latched";
+
+  uint64_t hit_events = 0, drop_events = 0;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kResidencyHit) ++hit_events;
+    if (e.kind == obs::EventKind::kResidencyDropped) ++drop_events;
+  }
+  EXPECT_EQ(hit_events, on.residency_hits);
+  EXPECT_EQ(drop_events, on.residency_drops);
+
+  // The per-config profile aggregates the same lifecycle counters.
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+  uint64_t hits = 0, drops = 0;
+  for (const obs::ConfigProfile& p : table.by_start_pc()) {
+    hits += p.residency_hits;
+    drops += p.residency_drops;
+  }
+  EXPECT_EQ(hits, on.residency_hits);
+  EXPECT_EQ(drops, on.residency_drops);
+
+  // Residency is strictly a timing knob: identical architectural results,
+  // strictly fewer configuration words loaded, never slower.
+  const auto off = accel::run_accelerated(prog, narrow_config(accel::Residency::kOff));
+  EXPECT_EQ(off.residency_hits, 0u);
+  EXPECT_EQ(on.final_state.output, off.final_state.output);
+  EXPECT_EQ(on.final_state.reg_hash(), off.final_state.reg_hash());
+  EXPECT_EQ(on.memory_hash, off.memory_hash);
+  EXPECT_EQ(on.instructions, off.instructions);
+  EXPECT_LT(on.config_words_loaded, off.config_words_loaded);
+  EXPECT_LT(on.cycles, off.cycles);
+}
+
+TEST(ObsResidency, ProcessorStoreIntoLoopBodyDropsLatch) {
+  // The outer loop patches an instruction of the (resident) inner loop with
+  // its own word after every inner run — architecturally a no-op, but SMC
+  // as far as the latch is concerned: the store lands inside the resident
+  // code range and must drop residency. The next outer iteration re-latches.
+  const char* patcher = R"(
+main:   li $s0, 50
+        la $s4, site
+        lw $s5, 0($s4)
+outer:  li $s1, 40
+loop:   addiu $s1, $s1, -1
+site:   addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        bnez $s1, loop
+        sw $s5, 0($s4)
+        addiu $s0, $s0, -1
+        bnez $s0, outer
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(patcher);
+  accel::SystemConfig cfg = narrow_config(accel::Residency::kLoop);
+  obs::RecordingSink sink;
+  cfg.event_sink = &sink;
+  const auto st = accel::run_accelerated(prog, cfg);
+  EXPECT_GT(st.residency_hits, 0u);
+  EXPECT_GT(st.residency_drops, 0u) << "SMC store never invalidated the latch";
+
+  uint64_t drop_events = 0;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kResidencyDropped) ++drop_events;
+  }
+  EXPECT_EQ(drop_events, st.residency_drops);
+
+  // Transparent despite the code-page stores.
+  const auto off = accel::run_accelerated(prog, narrow_config(accel::Residency::kOff));
+  EXPECT_EQ(st.final_state.output, off.final_state.output);
+  EXPECT_EQ(st.final_state.reg_hash(), off.final_state.reg_hash());
+  EXPECT_EQ(st.memory_hash, off.memory_hash);
+}
+
+TEST(ObsResidency, RcacheRewriteDropsStaleLatch) {
+  // Residency::kAny latches every fully-committed configuration. The
+  // speculative extension rewrites the hot config in place (fresh revision
+  // stamp), so the next dispatch must detect the stale latch and drop it
+  // instead of reusing the old contents.
+  const auto prog = asmblr::assemble(kHotLoop);
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+  cfg.residency = accel::Residency::kAny;
+  obs::RecordingSink sink;
+  cfg.event_sink = &sink;
+  const auto st = accel::run_accelerated(prog, cfg);
+  ASSERT_GT(st.extensions, 0u) << "test program must extend (rewrite) a config";
+  EXPECT_GT(st.residency_hits, 0u);
+  EXPECT_GT(st.residency_drops, 0u) << "rewrite never invalidated the latch";
+
+  // Timing-only, as always: kAny matches the plain run architecturally.
+  const auto plain = accel::run_accelerated(
+      prog, accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true));
+  EXPECT_EQ(st.final_state.output, plain.final_state.output);
+  EXPECT_EQ(st.final_state.reg_hash(), plain.final_state.reg_hash());
+  EXPECT_EQ(st.memory_hash, plain.memory_hash);
+}
+
+TEST(ObsResidency, HammockMergeEmitsEvents) {
+  // If-conversion lifecycle: every merged hammock emits kHammockMerged with
+  // the branch PC, and the count matches the stats counter.
+  const char* diamond = R"(
+        .data
+buf:    .space 64
+        .text
+main:   li $s0, 200
+        li $s1, 0
+        li $s2, 0
+        la $s4, buf
+loop:   andi $t0, $s2, 1
+        addu $t1, $s1, $s2
+        bnez $t0, odd
+        addiu $s1, $s1, 1
+        sw $s1, 0($s4)
+        b join
+odd:    addiu $s1, $s1, 2
+join:   addiu $s2, $s2, 1
+        bne $s2, $s0, loop
+        li $v0, 10
+        syscall
+)";
+  const auto prog = asmblr::assemble(diamond);
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, false);
+  cfg.predication = true;
+  obs::RecordingSink sink;
+  cfg.event_sink = &sink;
+  const auto st = accel::run_accelerated(prog, cfg);
+  ASSERT_GT(st.hammocks_merged, 0u);
+  uint64_t merges = 0;
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::EventKind::kHammockMerged) {
+      ++merges;
+      EXPECT_NE(e.branch_pc, 0u);
+    }
+  }
+  EXPECT_EQ(merges, st.hammocks_merged);
+
+  obs::ProfileTable table;
+  table.add_all(sink.events());
+  uint64_t profiled = 0;
+  for (const obs::ConfigProfile& p : table.by_start_pc()) profiled += p.hammocks_merged;
+  EXPECT_EQ(profiled, st.hammocks_merged);
 }
 
 }  // namespace

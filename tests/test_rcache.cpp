@@ -195,5 +195,51 @@ TEST(ReconfigCache, ContainsDoesNotCountStats) {
   EXPECT_EQ(rc.misses(), 0u);
 }
 
+// --- Revision stamping (loop residency) -------------------------------------
+// Every cache write stamps a fresh monotone revision so an array-resident
+// copy of an entry's old contents is detectable as stale at dispatch.
+
+TEST(ReconfigCache, InsertStampsFreshMonotonicRevisions) {
+  ReconfigCache rc(4);
+  rc.insert(cfg(0x100));
+  rc.insert(cfg(0x200));
+  const uint64_t r1 = rc.peek(0x100)->revision;
+  const uint64_t r2 = rc.peek(0x200)->revision;
+  EXPECT_NE(r1, 0u);
+  EXPECT_GT(r2, r1);
+  // A rewrite (speculative extension re-inserting the same start PC) is a
+  // fresh stamp: the resident latch must see the entry change identity.
+  rc.insert(cfg(0x100, 7));
+  EXPECT_GT(rc.peek(0x100)->revision, r2);
+  EXPECT_EQ(rc.counters().revision_counter, 3u);
+}
+
+TEST(ReconfigCache, EvictAndReinsertNeverReusesARevision) {
+  ReconfigCache rc(1);
+  rc.insert(cfg(0x100));
+  const uint64_t r1 = rc.peek(0x100)->revision;
+  rc.insert(cfg(0x200));  // evicts 0x100 under pressure
+  rc.insert(cfg(0x100));  // re-translation gets a new identity
+  EXPECT_GT(rc.peek(0x100)->revision, r1);
+}
+
+TEST(ReconfigCache, PreloadKeepsRevisionButAdvancesCounter) {
+  // Warm starts must re-export byte-identically, so preload keeps the
+  // serialized stamp — but later insertions may never reissue it.
+  ReconfigCache rc(4);
+  rra::Configuration warm = cfg(0x100);
+  warm.revision = 7;
+  ASSERT_TRUE(rc.preload(std::move(warm)));
+  EXPECT_EQ(rc.peek(0x100)->revision, 7u);
+  rc.insert(cfg(0x200));
+  EXPECT_EQ(rc.peek(0x200)->revision, 8u);
+}
+
+TEST(ReconfigCache, ZeroSlotInsertBurnsNoRevision) {
+  ReconfigCache rc(0);
+  rc.insert(cfg(0x100));  // nothing stored, nothing stamped
+  EXPECT_EQ(rc.counters().revision_counter, 0u);
+}
+
 }  // namespace
 }  // namespace dim::bt

@@ -146,6 +146,75 @@ TEST(Snapshot, ResumeMatchesStraightRunOnRealPrograms) {
   }
 }
 
+TEST(Snapshot, ResumeMatchesStraightRunWithPredicationOn) {
+  // If-conversion on: checkpoints land inside hammock skip windows and on
+  // configurations carrying predicate slots, so the pred op fields and the
+  // translator's skip latches must round-trip.
+  const char* diamond = R"(
+        .data
+buf:    .space 64
+        .text
+main:   li $s0, 250
+        li $s1, 0
+        li $s2, 0
+        la $s4, buf
+loop:   andi $t0, $s2, 1
+        addu $t1, $s1, $s2
+        bnez $t0, odd
+        addiu $s1, $s1, 1
+        sw $s1, 0($s4)
+        b join
+odd:    addiu $s1, $s1, 2
+join:   addiu $s2, $s2, 1
+        bne $s2, $s0, loop
+        move $a0, $s1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+  const auto program = asmblr::assemble(diamond);
+  accel::SystemConfig cfg = small_config();
+  cfg.speculation = false;  // force the if-conversion path on the hammock
+  cfg.predication = true;
+  const accel::AccelStats full = accel::run_accelerated(program, cfg);
+  ASSERT_GT(full.hammocks_merged, 0u) << "test program must if-convert";
+  for (uint64_t boundary :
+       {uint64_t{1}, full.instructions / 7, full.instructions / 3,
+        full.instructions / 2, full.instructions - 1}) {
+    expect_resume_equals_straight(program, cfg, boundary);
+  }
+}
+
+TEST(Snapshot, ResumeMatchesStraightRunWithResidencyLatched) {
+  // Loop residency on, shaped so the loop config closes at its own head
+  // (see tests/test_obs.cpp): checkpoints land while the residency latch
+  // is live, so the latch fields must round-trip byte-exactly.
+  const char* resident_loop = R"(
+main:   li $s1, 300
+loop:   addiu $s1, $s1, -1
+        addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        addiu $s1, $s1, 0
+        bnez $s1, loop
+        move $a0, $s1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+)";
+  const auto program = asmblr::assemble(resident_loop);
+  accel::SystemConfig cfg =
+      accel::SystemConfig::with(rra::ArrayShape{5, 1, 1, 1}, 8, true);
+  cfg.residency = accel::Residency::kLoop;
+  const accel::AccelStats full = accel::run_accelerated(program, cfg);
+  ASSERT_GT(full.residency_hits, 0u) << "test program must latch the loop";
+  for (uint64_t boundary :
+       {full.instructions / 5, full.instructions / 2, (full.instructions * 9) / 10}) {
+    expect_resume_equals_straight(program, cfg, boundary);
+  }
+}
+
 TEST(Snapshot, SaveRestoreSaveIsByteStable) {
   const auto program = asmblr::assemble(kCheckpointProgram);
   accel::AcceleratedSystem a(program, small_config());

@@ -21,6 +21,7 @@
 //               [--replay FILE] [--inject-fault none|addiu-imm|subu-swap]
 //               [--max-instructions N] [--json] [--self-test]
 //               [--cmp-dispatch] [--code-stores] [--smc]
+//               [--hammocks] [--nested-hammocks]
 //
 // Exit codes: 0 = no divergence, 1 = divergence found (or self-test
 // failed), 2 = usage error.
@@ -40,7 +41,8 @@ constexpr const char* kUsage =
     "                   [--matrix full|quick] [--no-shrink] [--repro FILE]\n"
     "                   [--replay FILE] [--inject-fault none|addiu-imm|subu-swap]\n"
     "                   [--max-instructions N] [--json] [--self-test]\n"
-    "                   [--cmp-dispatch] [--code-stores] [--smc]\n";
+    "                   [--cmp-dispatch] [--code-stores] [--smc]\n"
+    "                   [--hammocks] [--nested-hammocks]\n";
 
 using dim::bt::FaultInjection;
 
@@ -192,6 +194,10 @@ int main(int argc, char** argv) {
       options.gen.code_page_stores = true;
     } else if (arg == "--smc") {
       options.gen.smc_patch_stores = true;
+    } else if (arg == "--hammocks") {
+      options.gen.hammocks = true;
+    } else if (arg == "--nested-hammocks") {
+      options.gen.nested_hammocks = true;
     } else {
       std::fprintf(stderr, "%s", kUsage);
       return 2;
