@@ -10,10 +10,24 @@
 //    the CAD flow translates only the profiled hot spots, so coverage is
 //    capped by how concentrated the program is — the paper's Figure 3a
 //    argument for optimizing *everything* dynamically.
+//
+// 3. Execution-mode personalities (src/rra/exec_mode/): the same detection
+//    hardware and the same configurations, re-timed under the row-sync,
+//    elastic (dataflow firing through bounded per-row FIFOs) and SIMT
+//    (multi-lane warp issue) array disciplines — a 3 x 18 SweepEngine grid.
+//    Emits a deterministic JSON artifact (BENCH_related_modes.json) that is
+//    byte-identical for any --threads value.
+//
+// Flags (bench_util SweepCli): --threads N, --points N (truncates the mode
+// grid; CI smoke), --modes-json PATH (write the mode-grid artifact),
+// --modes-only (skip sections 1 and 2).
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "power/power_model.hpp"
 #include "prof/bb_profiler.hpp"
 #include "rra/array_shape.hpp"
 #include "sim/machine.hpp"
@@ -21,8 +35,150 @@
 using namespace dim;
 using namespace dim::bench;
 
-int main() {
+namespace {
+
+// One mode personality of the section-3 grid. All three share the
+// headline C#2 / 64-slot / speculation system; only the execution model
+// differs, so the speedup deltas are pure timing-discipline effects.
+struct ModePersonality {
+  const char* key;
+  rra::ExecModeParams exec;
+};
+
+std::vector<ModePersonality> mode_personalities() {
+  std::vector<ModePersonality> modes(3);
+  modes[0].key = "row_sync";
+  modes[1].key = "elastic";
+  modes[1].exec.mode = rra::ExecMode::kElastic;
+  modes[1].exec.fifo_capacity = 4;
+  modes[2].key = "simt";
+  modes[2].exec.mode = rra::ExecMode::kSimt;
+  modes[2].exec.lanes = 4;
+  return modes;
+}
+
+// Deterministic double formatting for the JSON artifact: %.6g depends only
+// on the value, so the file is byte-identical for any worker count.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void run_mode_grid(const std::vector<PreparedWorkload>& workloads,
+                   const SweepCli& cli, const std::string& json_path) {
+  const auto modes = mode_personalities();
+  const accel::SystemConfig base =
+      accel::SystemConfig::with(rra::ArrayShape::config2(), 64, true);
+
+  std::vector<accel::SweepPoint> points;
+  for (const ModePersonality& m : modes) {
+    for (const PreparedWorkload& p : workloads) {
+      accel::SystemConfig cfg = base;
+      cfg.exec_mode = m.exec;
+      points.push_back(point_of(p, std::string(m.key) + "/" + p.workload.name, cfg));
+    }
+  }
+  const auto results = run_sweep(points, cli);
+
+  std::printf(
+      "Related work 3 - execution-mode personalities (C#2, 64 slots, spec)\n"
+      "(row-sync vs elastic fifo=4 vs SIMT lanes=4; speedup over plain MIPS)\n\n");
+  std::printf("%-16s %9s %9s %9s %11s %10s\n", "Algorithm", "row-sync", "elastic",
+              "simt", "fifo-stall", "warp-hits");
+  const size_t n = workloads.size();
+  std::vector<double> avg(modes.size(), 0.0);
+  // With --points the grid may be truncated; index math below only reads
+  // cells that exist.
+  const auto cell = [&](size_t mode, size_t wl) -> const accel::SweepResult* {
+    const size_t idx = mode * n + wl;
+    return idx < results.size() ? &results[idx] : nullptr;
+  };
+  for (size_t w = 0; w < n; ++w) {
+    if (cell(0, w) == nullptr) break;
+    const accel::SweepResult* rs = cell(0, w);
+    const accel::SweepResult* el = cell(1, w);
+    const accel::SweepResult* si = cell(2, w);
+    std::printf("%-16s %8.2fx %8.2fx %8.2fx %11llu %10llu\n",
+                workloads[w].workload.display.c_str(), rs->speedup(),
+                el != nullptr ? el->speedup() : 0.0,
+                si != nullptr ? si->speedup() : 0.0,
+                static_cast<unsigned long long>(
+                    el != nullptr ? el->accelerated.fifo_stall_cycles : 0),
+                static_cast<unsigned long long>(
+                    si != nullptr ? si->accelerated.simt_warp_hits : 0));
+  }
+  for (size_t m = 0; m < modes.size(); ++m) {
+    std::vector<double> sp;
+    for (size_t w = 0; w < n; ++w) {
+      if (cell(m, w) != nullptr) sp.push_back(cell(m, w)->speedup());
+    }
+    avg[m] = mean(sp);
+  }
+  std::printf("%-16s %8.2fx %8.2fx %8.2fx\n\n", "Average", avg[0], avg[1], avg[2]);
+
+  if (json_path.empty()) return;
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"related_modes\",\n"
+      << "  \"system\": {\"shape\": \"config2\", \"cache_slots\": 64, "
+         "\"speculation\": true},\n  \"modes\": [\n";
+  for (size_t m = 0; m < modes.size(); ++m) {
+    out << "    {\"mode\": \"" << modes[m].key << "\"";
+    if (modes[m].exec.mode == rra::ExecMode::kElastic) {
+      out << ", \"fifo_capacity\": " << modes[m].exec.fifo_capacity;
+    } else if (modes[m].exec.mode == rra::ExecMode::kSimt) {
+      out << ", \"lanes\": " << modes[m].exec.lanes;
+    }
+    out << ", \"avg_speedup\": " << num(avg[m]) << ",\n     \"workloads\": [\n";
+    bool first = true;
+    for (size_t w = 0; w < n; ++w) {
+      const accel::SweepResult* r = cell(m, w);
+      if (r == nullptr) break;
+      const double energy =
+          power::compute_energy(r->accelerated, base.cache_slots).total();
+      if (!first) out << ",\n";
+      first = false;
+      out << "      {\"name\": \"" << workloads[w].workload.name
+          << "\", \"cycles\": " << r->accelerated.cycles
+          << ", \"speedup\": " << num(r->speedup())
+          << ", \"energy_nj\": " << num(energy)
+          << ", \"fifo_stall_cycles\": " << r->accelerated.fifo_stall_cycles
+          << ", \"deadlock_fallbacks\": " << r->accelerated.elastic_deadlock_fallbacks
+          << ", \"warp_hits\": " << r->accelerated.simt_warp_hits
+          << ", \"warp_resets\": " << r->accelerated.simt_warp_resets << "}";
+    }
+    out << "\n    ]}" << (m + 1 < modes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("mode grid JSON written to %s (%zu points)\n", json_path.c_str(),
+              results.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepCli cli = parse_sweep_cli(argc, argv);
+  bool modes_only = false;
+  std::string modes_json;
+  for (size_t i = 0; i < cli.positional.size(); ++i) {
+    if (cli.positional[i] == "--modes-only") {
+      modes_only = true;
+    } else if (cli.positional[i] == "--modes-json" && i + 1 < cli.positional.size()) {
+      modes_json = cli.positional[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_related_work [--threads N] [--points N]\n"
+                   "                          [--modes-json PATH] [--modes-only]\n");
+      return 2;
+    }
+  }
+
   const auto workloads = prepare_all();
+
+  if (modes_only) {
+    run_mode_grid(workloads, cli, modes_json);
+    return 0;
+  }
 
   std::printf("Related work 1 - CCA-style FU restrictions (C#2, 64 slots, spec)\n\n");
   std::printf("%-16s %10s %12s %12s\n", "Algorithm", "DIM array", "CCA-style", "coverage");
@@ -80,6 +236,8 @@ int main() {
       "\nShape to verify: the restricted CCA-style array accelerates only the\n"
       "pure-ALU codes; kernel-only translation approaches DIM as K grows —\n"
       "for kernel-less programs only slowly, the paper's case for optimizing\n"
-      "the whole application transparently.\n");
+      "the whole application transparently.\n\n");
+
+  run_mode_grid(workloads, cli, modes_json);
   return 0;
 }

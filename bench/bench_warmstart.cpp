@@ -14,10 +14,14 @@
 // Flags: --dir PATH   directory for the .warm files (default: a fresh
 //                     directory under the system temp path; kept so the
 //                     files can be inspected with dimsim-analyze)
+//        --json PATH  write the per-workload savings table as JSON
+//                     (BENCH_warmstart.json; deterministic, diffable with
+//                     tools/bench_diff.py)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "bench/bench_util.hpp"
@@ -27,10 +31,23 @@
 using namespace dim;
 using namespace dim::bench;
 
+namespace {
+
+// Deterministic double formatting for the JSON artifact.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string dir;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) dir = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
   if (dir.empty()) {
     dir = (std::filesystem::temp_directory_path() / "dimsim-warmstart").string();
@@ -47,6 +64,7 @@ int main(int argc, char** argv) {
 
   double total_saved = 0.0;
   int n = 0;
+  std::string json_rows;
   for (const PreparedWorkload& p : prepare_all()) {
     accel::AcceleratedSystem cold(p.program, cfg);
     const accel::AccelStats cold_stats = cold.run();
@@ -81,6 +99,14 @@ int main(int argc, char** argv) {
                          static_cast<double>(cold_stats.cycles);
     total_saved += saved;
     ++n;
+    if (!json_path.empty()) {
+      if (!json_rows.empty()) json_rows += ",\n";
+      json_rows += "    {\"name\": \"" + p.workload.name +
+                   "\", \"cold_cycles\": " + std::to_string(cold_stats.cycles) +
+                   ", \"warm_cycles\": " + std::to_string(warm_stats.cycles) +
+                   ", \"preloaded\": " + std::to_string(preloaded) +
+                   ", \"savings_pct\": " + num(saved) + "}";
+    }
     std::printf("%-16s %12llu %12llu %7.2f%% %7zu %9llu %9llu %9llu\n",
                 p.workload.display.c_str(),
                 static_cast<unsigned long long>(cold_stats.cycles),
@@ -94,6 +120,15 @@ int main(int argc, char** argv) {
   if (average < 0.0) {
     std::fprintf(stderr, "WARM-START REGRESSION: average saving is negative\n");
     return 1;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"warmstart\",\n"
+        << "  \"system\": {\"shape\": \"config3\", \"cache_slots\": 64, "
+           "\"speculation\": true},\n"
+        << "  \"average_savings_pct\": " << num(average) << ",\n"
+        << "  \"workloads\": [\n" << json_rows << "\n  ]\n}\n";
+    std::printf("warm-start JSON written to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -40,6 +40,18 @@ struct AccelStats {
   uint64_t residency_hits = 0;    // dispatches that skipped the config reload
   uint64_t residency_drops = 0;   // residency invalidations (SMC / rewrite)
 
+  // Execution-mode extensions (src/rra/exec_mode/). All zero under the
+  // default row-sync personality, which is why serialized formats carry
+  // them in optional trailing sections (snap/) — old row-sync artifacts
+  // keep their exact bytes and keep loading.
+  uint64_t fifo_stall_cycles = 0;           // elastic: backpressure share of
+                                            // array_exec_cycles (a subset,
+                                            // not a sixth taxonomy term)
+  uint64_t elastic_deadlock_fallbacks = 0;  // dispatches run row-sync because
+                                            // the config failed the deadlock check
+  uint64_t simt_warp_hits = 0;              // lanes that skipped the config stream
+  uint64_t simt_warp_resets = 0;            // warps retired at lane capacity
+
   // Activity for the power model.
   uint64_t array_alu_ops = 0;
   uint64_t array_mul_ops = 0;

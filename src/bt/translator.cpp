@@ -359,7 +359,18 @@ void Translator::finalize_capture(uint32_t end_pc) {
       emit(obs::EventKind::kExtensionCompleted, builder_->start_pc(),
            builder_->size(), builder_->num_bbs());
     }
-    cache_->insert(builder_->finalize(end_pc));
+    rra::Configuration config = builder_->finalize(end_pc);
+    if (params_.exec_mode.mode == rra::ExecMode::kElastic) {
+      // Config-build-time deadlock-freedom check: the dispatcher trusts the
+      // memo and never re-analyzes a cached configuration.
+      config.elastic_memo =
+          rra::elastic_admissible(config, params_.exec_mode.fifo_capacity) ? 1 : 0;
+      if (config.elastic_memo == 0) {
+        emit(obs::EventKind::kElasticRejected, config.start_pc,
+             config.instruction_count());
+      }
+    }
+    cache_->insert(std::move(config));
     ++stats_.configs_inserted;
   } else {
     ++stats_.too_short;

@@ -33,6 +33,7 @@
 #include "obs/event.hpp"
 #include "rra/array_shape.hpp"
 #include "rra/configuration.hpp"
+#include "rra/exec_mode/execution_model.hpp"
 #include "sim/cpu_state.hpp"
 
 namespace dim::bt {
@@ -86,6 +87,13 @@ struct TranslatorParams {
   // sequences starting at these PCs (the profiled hot spots) are
   // translated — everything else stays on the processor.
   std::unordered_set<uint32_t> allowed_starts;
+
+  // Array execution personality (src/rra/exec_mode/). The translator
+  // consults it at config-build time: under the elastic mode every
+  // finalized configuration is classified for deadlock freedom
+  // (Configuration::elastic_memo) so the dispatcher can fall back to
+  // row-sync without re-analyzing on the hot path.
+  rra::ExecModeParams exec_mode;
 
   // Test-only planted translator bug (see FaultInjection above).
   FaultInjection fault = FaultInjection::kNone;

@@ -55,6 +55,8 @@ class Gen {
     if (options.code_page_stores || options.smc_patch_stores) menu_.push_back(8);
     if (options.hammocks) menu_.push_back(9);
     if (options.nested_hammocks) menu_.push_back(10);
+    if (options.long_chains) menu_.push_back(11);
+    if (options.lane_divergence) menu_.push_back(12);
   }
 
   FuzzProgram run() {
@@ -129,6 +131,8 @@ class Gen {
       case 8: emit_code_store(); break;
       case 9: emit_hammock(/*nested=*/false); break;
       case 10: emit_hammock(/*nested=*/true); break;
+      case 11: emit_long_chain(); break;
+      case 12: emit_lane_divergence(depth); break;
       case 0: emit_alu_block(); break;
       case 1: emit_mult_block(); break;
       case 2: emit_div_block(); break;
@@ -359,6 +363,65 @@ class Gen {
           }
           break;
       }
+    }
+  }
+
+  // Serial dependence chain bait (see GenOptions::long_chains). Every link
+  // reads the accumulator written by the previous link — through the ALU,
+  // the multiplier, or a store/load round-trip — so the chain's critical
+  // path is its full length; the independent filler between links is what
+  // an elastic array can slide past the chain while row-sync waits row by
+  // row. The chain register is drawn from the pool, so the epilogue's
+  // checksum over $t0..$t7 keeps the whole chain architecturally live.
+  void emit_long_chain() {
+    const std::string acc = treg();
+    const int links = rng_.range(4, 8);
+    for (int i = 0; i < links; ++i) {
+      switch (rng_.range(0, 3)) {
+        case 0:
+          instr("addu " + acc + ", " + acc + ", " + treg());
+          break;
+        case 1:
+          instr("xor " + acc + ", " + acc + ", " + treg());
+          break;
+        case 2:
+          instr("mult " + acc + ", " + treg());
+          instr("mflo " + acc);
+          break;
+        default: {
+          const int off = rng_.range(0, 31) * 4;
+          instr("sw " + acc + ", " + std::to_string(off) + "($s0)");
+          instr("lw " + acc + ", " + std::to_string(off) + "($s0)");
+          break;
+        }
+      }
+      const int filler = rng_.range(1, 2);
+      for (int f = 0; f < filler; ++f) {
+        instr("addiu " + treg() + ", " + treg() + ", " +
+              std::to_string(rng_.range(1, 9)));
+      }
+    }
+  }
+
+  // Lane-divergence bait (see GenOptions::lane_divergence): a hammock
+  // conditioned on the PARITY of the innermost live loop counter, so the
+  // branch flips direction on every iteration. Adjacent iterations of the
+  // same configuration then take opposite arms — exactly the pattern that
+  // makes SIMT lanes of one warp disagree in their predicate masks.
+  void emit_lane_divergence(int depth) {
+    const std::string counter = depth > 0 ? "$s" + std::to_string(depth) : "$s7";
+    const std::string arm2 = label("lane");
+    const std::string join = label("ljoin");
+    instr("andi $at, " + counter + ", 1");
+    instr(std::string(rng_.chance(50) ? "beqz" : "bnez") + " $at, " + arm2);
+    emit_hammock_arm();
+    if (rng_.chance(50)) {
+      instr("b " + join);
+      labeled(arm2);
+      emit_hammock_arm();
+      labeled(join);
+    } else {
+      labeled(arm2);
     }
   }
 

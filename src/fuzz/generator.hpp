@@ -96,6 +96,17 @@ struct GenOptions {
   // (the outer one must then fall back; the inner stays mergeable).
   bool hammocks = false;
   bool nested_hammocks = false;
+  // Execution-mode bait (src/rra/exec_mode/). long_chains emits a serial
+  // accumulator chain threaded through loads and multiplies with
+  // independent filler ops between the links — under the elastic
+  // personality the filler overtakes the chain through the per-row FIFOs
+  // (and capacity-1 points backpressure hard), while row-sync pays the
+  // full serial height. lane_divergence emits hammocks conditioned on the
+  // parity of the innermost live loop counter, so the branch flips every
+  // iteration: under SIMT adjacent warp iterations take opposite arms and
+  // the per-lane predicate masks disagree lane to lane.
+  bool long_chains = false;
+  bool lane_divergence = false;
 };
 
 // Deterministic: generate_program(s, o) is the same program forever.

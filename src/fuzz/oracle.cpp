@@ -77,6 +77,31 @@ std::vector<MatrixPoint> full_matrix() {
     p.config.residency = accel::Residency::kLoop;
     out.push_back(std::move(p));
   }
+  // The execution-mode axis (src/rra/exec_mode/): every base point again
+  // under the elastic and SIMT personalities, 72 points in total. Both
+  // modes share the functional core with row-sync, so they answer to the
+  // same architectural oracles; only timing/stats may differ — and those
+  // must still agree between slow and fast dispatch at the same point.
+  // Predication is on so that SIMT's per-lane masks and elastic's
+  // predicate-slot edges actually get exercised; capacities/lanes
+  // alternate so both a backpressure-heavy (cap 1) and a relaxed (cap 4)
+  // FIFO, and both narrow and wide warps, appear in the grid.
+  for (size_t i = 0; i < base_points; ++i) {
+    MatrixPoint p = out[i];
+    p.label += "/elastic";
+    p.config.predication = true;
+    p.config.exec_mode.mode = rra::ExecMode::kElastic;
+    p.config.exec_mode.fifo_capacity = (i % 2 == 0) ? 1 : 4;
+    out.push_back(std::move(p));
+  }
+  for (size_t i = 0; i < base_points; ++i) {
+    MatrixPoint p = out[i];
+    p.label += "/simt";
+    p.config.predication = true;
+    p.config.exec_mode.mode = rra::ExecMode::kSimt;
+    p.config.exec_mode.lanes = (i % 2 == 0) ? 2 : 4;
+    out.push_back(std::move(p));
+  }
   return out;
 }
 
@@ -104,6 +129,18 @@ std::vector<MatrixPoint> quick_matrix() {
   p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, false, 3);
   p.config.predication = true;
   p.config.residency = accel::Residency::kLoop;
+  out.push_back(p);
+  p.label = "shape1/fifo4/spec3/elastic";
+  p.config = make_config(rra::ArrayShape::config1(), 4, bt::Replacement::kFifo, true, 3);
+  p.config.predication = true;
+  p.config.exec_mode.mode = rra::ExecMode::kElastic;
+  p.config.exec_mode.fifo_capacity = 1;
+  out.push_back(p);
+  p.label = "shape2/lru64/spec3/simt";
+  p.config = make_config(rra::ArrayShape::config2(), 64, bt::Replacement::kLru, true, 3);
+  p.config.predication = true;
+  p.config.exec_mode.mode = rra::ExecMode::kSimt;
+  p.config.exec_mode.lanes = 4;
   out.push_back(p);
   return out;
 }

@@ -20,6 +20,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kHammockMerged: return "hammock_merged";
     case EventKind::kResidencyHit: return "residency_hit";
     case EventKind::kResidencyDropped: return "residency_dropped";
+    case EventKind::kElasticRejected: return "elastic_rejected";
+    case EventKind::kSimtWarpHit: return "simt_warp_hit";
   }
   return "unknown";
 }

@@ -60,6 +60,11 @@ void ProfileTable::add(const Event& event) {
     case EventKind::kResidencyDropped:
       ++p.residency_drops;
       break;
+    case EventKind::kElasticRejected:
+    case EventKind::kSimtWarpHit:
+      // Execution-mode events aggregate at run level (AccelStats), not per
+      // configuration: the profile record keeps its fixed serialized shape.
+      break;
   }
 }
 

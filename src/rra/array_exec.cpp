@@ -66,7 +66,7 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
                                        sim::CpuState& state, mem::Memory& memory,
                                        mem::Cache* dcache,
                                        const ArrayTimingParams& timing,
-                                       bool resident) {
+                                       bool resident, ArrayExecTrace* trace) {
   ArrayExecOutcome out;
   out.reconfig_stall_cycles = resident ? resident_stall_cycles(config, timing)
                                        : reconfig_stall_cycles(config, timing);
@@ -95,6 +95,12 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
     const uint32_t rt = ctx[i.rt];
     last_row = std::max(last_row, op.row);
 
+    ArrayExecTrace::OpTrace* ot = nullptr;
+    if (trace != nullptr) {
+      trace->ops.emplace_back();
+      ot = &trace->ops.back();
+    }
+
     if (op.is_pred_def) {
       // Hammock branch: both arms are placed, so it cannot misspeculate. It
       // just latches its condition into the predicate slot and retires.
@@ -103,11 +109,13 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
       const bool taken = sim::branch_taken(i, rs, rt);
       pred[static_cast<size_t>(op.pred_slot)] = taken;
       out.branch_outcomes.push_back(BranchOutcome{op.pc, taken, true});
+      if (ot != nullptr) ot->active = true;
       continue;
     }
 
     const bool active =
         op.pred_slot < 0 || pred[static_cast<size_t>(op.pred_slot)] == op.pred_when_taken;
+    if (ot != nullptr) ot->active = active;
 
     if (op.is_join_jump) {
       // Diamond-internal `b join`: the FU evaluates it either way, but it
@@ -152,7 +160,11 @@ ArrayExecOutcome execute_configuration(const Configuration& config,
     switch (isa::fu_kind(i.op)) {
       case isa::FuKind::kLdSt: {
         const uint32_t addr = sim::effective_address(i, rs);
-        if (dcache != nullptr) out.dcache_stall_cycles += dcache->access(addr);
+        if (dcache != nullptr) {
+          const uint64_t penalty = dcache->access(addr);
+          out.dcache_stall_cycles += penalty;
+          if (ot != nullptr) ot->dcache_penalty = penalty;
+        }
         ++out.mem_ops;
         if (isa::is_store(i.op)) {
           ++out.stores;

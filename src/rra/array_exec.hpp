@@ -40,6 +40,10 @@ struct ArrayExecOutcome {
   uint64_t dcache_stall_cycles = 0;   // load/store misses during execution
   uint64_t finalize_cycles = 0;
   uint64_t misspec_penalty_cycles = 0;
+  // Elastic execution only: the share of exec_cycles attributable to FIFO
+  // backpressure (bounded-capacity makespan minus unbounded makespan). A
+  // subset of exec_cycles, NOT a sixth component of total_cycles().
+  uint64_t fifo_stall_cycles = 0;
   uint64_t total_cycles() const {
     return exec_cycles + reconfig_stall_cycles + dcache_stall_cycles +
            finalize_cycles + misspec_penalty_cycles;
@@ -58,16 +62,31 @@ struct ArrayExecOutcome {
   uint32_t store_hi = 0;  // exclusive
 };
 
+// Per-op record of one evaluation walk, consumed by the non-row-sync
+// execution models (src/rra/exec_mode/) to retime the activation. Entry k
+// describes the k-th *evaluated* op — a misspeculation-truncated walk
+// leaves trailing ops unrecorded.
+struct ArrayExecTrace {
+  struct OpTrace {
+    bool active = false;          // predicate allowed the op to commit
+    uint64_t dcache_penalty = 0;  // miss cycles this op's access cost (mem ops)
+  };
+  std::vector<OpTrace> ops;
+};
+
 // Executes `config` against the architectural state. On return the state
 // (registers, HI/LO, memory) reflects every committed basic block and
 // `next_pc` tells the processor where to resume. `dcache`, when non-null,
 // is consulted for load/store stall cycles. `resident` charges the cheaper
 // resident_stall_cycles (configuration bits already latched in the array)
 // instead of a full reconfiguration — timing only, semantics unchanged.
+// `trace`, when non-null, records per-op activity for mode-specific
+// retiming; the architectural result is unaffected.
 ArrayExecOutcome execute_configuration(const Configuration& config,
                                        sim::CpuState& state, mem::Memory& memory,
                                        mem::Cache* dcache,
                                        const ArrayTimingParams& timing,
-                                       bool resident = false);
+                                       bool resident = false,
+                                       ArrayExecTrace* trace = nullptr);
 
 }  // namespace dim::rra

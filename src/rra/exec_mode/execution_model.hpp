@@ -1,0 +1,99 @@
+// Pluggable array execution strategies ("personalities").
+//
+// The paper's array is row-synchronous: a row fires when the whole previous
+// row has fired, long-latency ops (multiplies, cache misses) stall every
+// row behind them. That is one point in a larger CGRA design space. This
+// subsystem abstracts *when ops fire and what that costs* behind the
+// ExecutionModel interface, keeping *what ops compute* in the shared
+// functional core (rra::execute_configuration). Because every model runs
+// the same functional core, the transparency contract — bit-identical
+// architectural state versus pure software — holds for all of them by
+// construction; models differ only in timing and stats.
+//
+// Three personalities (docs/execution-modes.md has the full writeup):
+//
+//   kRowSync — the paper's array, delegating to the classic row-chained
+//              timing in rra/configuration.cpp. The reference model.
+//   kElastic — STRELA-style dataflow firing. Ops fire when their operands
+//              arrive over per-edge valid/ready handshakes; each row's
+//              results enter a bounded in-order output queue of
+//              `fifo_capacity` tokens, and a producer whose queue slot is
+//              still held by an unconsumed older result stalls
+//              (backpressure). Cache-miss latency rides the dependence
+//              edges instead of stalling rows. Configurations whose
+//              handshake graph can deadlock are rejected at config-build
+//              time and execute row-synchronously.
+//   kSimt    — DICE-style statically scheduled multi-lane issue: one
+//              latched configuration executes for up to `lanes`
+//              consecutive dispatches (a warp), lanes after the first skip
+//              the configuration-word stream. The static schedule is
+//              lockstep — rows fire on a fixed cadence with no ALU
+//              chaining, and per-lane predicate masks (the PR 9 predicate
+//              slots) squash work without changing the cadence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "rra/array_exec.hpp"
+#include "rra/array_shape.hpp"
+#include "rra/configuration.hpp"
+#include "sim/cpu_state.hpp"
+
+namespace dim::rra {
+
+enum class ExecMode : uint8_t {
+  kRowSync = 0,
+  kElastic = 1,
+  kSimt = 2,
+};
+
+const char* exec_mode_name(ExecMode mode);
+
+struct ExecModeParams {
+  ExecMode mode = ExecMode::kRowSync;
+  // Elastic: tokens each per-row output queue holds before producers on
+  // that row see backpressure. Capacity 1 is the fully serialized
+  // handshake; it still runs pure dependence chains at full throughput.
+  int fifo_capacity = 4;
+  // SIMT: dispatches that share one latched configuration (warp size).
+  int lanes = 4;
+};
+
+class ExecutionModel {
+ public:
+  virtual ~ExecutionModel() = default;
+
+  virtual ExecMode mode() const = 0;
+  virtual const char* name() const = 0;
+
+  // Build-time admissibility. A configuration a model cannot execute
+  // (today: elastic deadlock) is still inserted into the rcache but
+  // dispatches row-synchronously. Must be stable for a given
+  // configuration — the translator memoizes it (Configuration::elastic_memo).
+  virtual bool admits(const Configuration& config) const = 0;
+
+  // Executes the configuration against architectural state. Semantics are
+  // identical across models (all delegate to execute_configuration); only
+  // the timing fields of the outcome differ.
+  virtual ArrayExecOutcome execute(const Configuration& config,
+                                   sim::CpuState& state, mem::Memory& memory,
+                                   mem::Cache* dcache,
+                                   const ArrayTimingParams& timing,
+                                   bool resident) const = 0;
+};
+
+std::unique_ptr<ExecutionModel> make_execution_model(const ExecModeParams& params);
+
+// Deadlock-freedom check for the elastic personality, exposed standalone so
+// the translator can classify configurations at build time without
+// instantiating a model. True iff the handshake event graph (dependence +
+// in-order-queue + capacity backpressure edges) is acyclic at the given
+// token capacity. Any prefix of an admissible configuration is itself
+// admissible, so a misspeculation-truncated walk never deadlocks either.
+// A capacity <= 0 means unbounded queues: trivially admissible.
+bool elastic_admissible(const Configuration& config, int fifo_capacity);
+
+}  // namespace dim::rra

@@ -98,6 +98,16 @@ uint64_t system_fingerprint(const accel::SystemConfig& config) {
   w.i32(config.misspec_flush_threshold);
   w.u64(config.translation_cost_per_instr);
   w.boolean(config.array_enabled);
+  // The execution-mode personality changes timing/stats, so it must key
+  // the fingerprint — but it is appended ONLY when non-default, following
+  // the host_trace_dispatch precedent above: every row-sync fingerprint
+  // (including the committed golden .snap files) keeps its exact pre-mode
+  // value.
+  if (config.exec_mode.mode != rra::ExecMode::kRowSync) {
+    w.u8(static_cast<uint8_t>(config.exec_mode.mode));
+    w.i32(config.exec_mode.fifo_capacity);
+    w.i32(config.exec_mode.lanes);
+  }
   return fnv1a64(w.bytes());
 }
 
@@ -197,6 +207,25 @@ accel::AccelStats get_stats(Reader& r) {
   stats.final_state = get_cpu(r);
   stats.memory_hash = r.u64();
   return stats;
+}
+
+bool has_exec_stats(const accel::AccelStats& stats) {
+  return stats.fifo_stall_cycles != 0 || stats.elastic_deadlock_fallbacks != 0 ||
+         stats.simt_warp_hits != 0 || stats.simt_warp_resets != 0;
+}
+
+void put_exec_stats(Writer& w, const accel::AccelStats& stats) {
+  w.u64(stats.fifo_stall_cycles);
+  w.u64(stats.elastic_deadlock_fallbacks);
+  w.u64(stats.simt_warp_hits);
+  w.u64(stats.simt_warp_resets);
+}
+
+void get_exec_stats(Reader& r, accel::AccelStats& stats) {
+  stats.fifo_stall_cycles = r.u64();
+  stats.elastic_deadlock_fallbacks = r.u64();
+  stats.simt_warp_hits = r.u64();
+  stats.simt_warp_resets = r.u64();
 }
 
 void put_array_op(Writer& w, const rra::ArrayOp& op) {

@@ -43,6 +43,16 @@ sim::CpuState get_cpu(Reader& r);
 void put_stats(Writer& w, const accel::AccelStats& stats);
 accel::AccelStats get_stats(Reader& r);
 
+// The execution-mode extension counters of AccelStats (always zero under
+// row-sync). Serialized OUTSIDE put_stats — in optional trailing blocks
+// gated on has_exec_stats / the active mode — so the classic stats record,
+// and every artifact byte-layout that embeds it, is unchanged and old
+// row-sync snapshots, warm-start files and result-store cells keep
+// loading. Readers default the fields to zero when the block is absent.
+bool has_exec_stats(const accel::AccelStats& stats);
+void put_exec_stats(Writer& w, const accel::AccelStats& stats);
+void get_exec_stats(Reader& r, accel::AccelStats& stats);
+
 // One placed array op (used standalone for in-flight builder state; the
 // reader validates opcode, register fields, FU kind and placement).
 void put_array_op(Writer& w, const rra::ArrayOp& op);

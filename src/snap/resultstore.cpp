@@ -37,6 +37,11 @@ CellData parse_cell(const std::vector<uint8_t>& payload) {
   d.transparent = r.boolean();
   d.has_profile = r.boolean();
   if (d.has_profile) d.profile = get_profile(r);
+  // Optional execution-mode counter block (accelerated stats only; a
+  // baseline run never touches the array). Written only when some counter
+  // is nonzero, so row-sync cells — including every cell from before the
+  // mode axis existed — keep their exact bytes; absent means all zero.
+  if (!r.done()) get_exec_stats(r, d.accelerated);
   if (!r.done()) r.fail("trailing bytes after cell fields");
   return d;
 }
@@ -131,6 +136,7 @@ void ResultStore::store(const accel::SweepPoint& point, bool collect_profiles,
   w.boolean(result.transparent);
   w.boolean(result.has_profile);
   if (result.has_profile) put_profile(w, result.profile);
+  if (has_exec_stats(result.accelerated)) put_exec_stats(w, result.accelerated);
   write_artifact_file(cell_path(key), ArtifactKind::kResultCell, w.bytes());
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.stores;

@@ -24,6 +24,12 @@ constexpr uint16_t kSecRcache = 6;  // counters + entries oldest-first
 constexpr uint16_t kSecXlate = 7;   // translator stats + in-flight capture
 constexpr uint16_t kSecStats = 8;   // accumulated AccelStats
 constexpr uint16_t kSecSys = 9;     // extension latch + array cycle acc
+// Optional trailing section, present ONLY when a non-row-sync execution
+// personality is active (SystemConfig::exec_mode): the SIMT warp fill and
+// the execution-mode stats counters. Row-sync snapshots omit it and keep
+// their exact pre-mode bytes (pinned by the committed format goldens);
+// readers default the fields to zero when the section is absent.
+constexpr uint16_t kSecExec = 10;   // warp latch fill + exec-mode counters
 
 void expect_section(Reader& r, uint16_t id) {
   const uint16_t got = r.u16();
@@ -120,6 +126,8 @@ struct SnapshotData {
   uint64_t resident_rev = 0;
   uint32_t resident_lo = 0;
   uint32_t resident_hi = 0;
+  // kSecExec (optional; explicit zero defaults when the section is absent).
+  uint32_t warp_fill = 0;
 };
 
 SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
@@ -226,6 +234,12 @@ SnapshotData parse_snapshot(const std::vector<uint8_t>& payload) {
     r.fail("empty resident code range");
   }
 
+  if (!r.done()) {
+    expect_section(r, kSecExec);
+    d.warp_fill = r.u32();
+    get_exec_stats(r, d.stats);
+  }
+
   if (!r.done()) r.fail("trailing bytes after final section");
   return d;
 }
@@ -316,6 +330,12 @@ std::vector<uint8_t> encode_snapshot(const accel::AcceleratedSystem& system,
   w.u32(SystemAccess::resident_lo(system));
   w.u32(SystemAccess::resident_hi(system));
 
+  if (SystemAccess::config(system).exec_mode.mode != rra::ExecMode::kRowSync) {
+    w.u16(kSecExec);
+    w.u32(SystemAccess::warp_fill(system));
+    put_exec_stats(w, SystemAccess::stats(system));
+  }
+
   return w.take();
 }
 
@@ -367,6 +387,7 @@ void restore_snapshot_payload(accel::AcceleratedSystem& system,
   SystemAccess::set_array_cycle_acc(system, d.array_cycle_acc);
   SystemAccess::set_residency_latch(system, d.has_resident, d.resident_pc,
                                     d.resident_rev, d.resident_lo, d.resident_hi);
+  SystemAccess::set_warp_fill(system, d.warp_fill);
   // restore_pages invalidated every page pointer and replaced the image;
   // drop all host-side decoded state (decode cache, superblock traces).
   SystemAccess::clear_host_caches(system);

@@ -30,7 +30,8 @@ from pathlib import Path
 # Substrings that decide whether a metric should go down or up. Checked in
 # order; first hit wins. Names carry units in this repo (seconds, _ms,
 # per_sec), so substring matching is reliable.
-LOWER_IS_BETTER = ("_ms", "seconds", "misses", "evictions", "bytes")
+LOWER_IS_BETTER = ("_ms", "seconds", "misses", "evictions", "bytes", "cycles",
+                   "energy_nj", "fallbacks")
 HIGHER_IS_BETTER = ("per_sec", "per_s", "speedup", "hits", "cells", "savings")
 # Configuration/identity fields: differences are reported as "changed", not
 # scored — a different request count makes timings incomparable anyway.

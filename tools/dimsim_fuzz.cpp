@@ -22,6 +22,7 @@
 //               [--max-instructions N] [--json] [--self-test]
 //               [--cmp-dispatch] [--code-stores] [--smc]
 //               [--hammocks] [--nested-hammocks]
+//               [--long-chains] [--lane-div]
 //
 // Exit codes: 0 = no divergence, 1 = divergence found (or self-test
 // failed), 2 = usage error.
@@ -42,7 +43,8 @@ constexpr const char* kUsage =
     "                   [--replay FILE] [--inject-fault none|addiu-imm|subu-swap]\n"
     "                   [--max-instructions N] [--json] [--self-test]\n"
     "                   [--cmp-dispatch] [--code-stores] [--smc]\n"
-    "                   [--hammocks] [--nested-hammocks]\n";
+    "                   [--hammocks] [--nested-hammocks]\n"
+    "                   [--long-chains] [--lane-div]\n";
 
 using dim::bt::FaultInjection;
 
@@ -198,6 +200,10 @@ int main(int argc, char** argv) {
       options.gen.hammocks = true;
     } else if (arg == "--nested-hammocks") {
       options.gen.nested_hammocks = true;
+    } else if (arg == "--long-chains") {
+      options.gen.long_chains = true;
+    } else if (arg == "--lane-div") {
+      options.gen.lane_divergence = true;
     } else {
       std::fprintf(stderr, "%s", kUsage);
       return 2;
